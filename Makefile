@@ -1,0 +1,44 @@
+# swcc — reproduction of Owicki & Agarwal, ASPLOS 1989.
+# Standard targets; everything runs offline with the Go toolchain only.
+
+GO ?= go
+
+.PHONY: all build test vet bench artifacts examples golden cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark suite: one benchmark per paper table/figure plus
+# solver/simulator micro benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure into artifacts/ (.txt, .csv, .json).
+artifacts:
+	$(GO) run ./cmd/cohere all -out artifacts
+
+# Run every bundled example.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/compilerstudy
+	$(GO) run ./examples/netscaling
+	$(GO) run ./examples/validation
+	$(GO) run ./examples/lockdesign
+
+# Refresh the pinned analytic outputs after an intentional model change.
+golden:
+	$(GO) test ./internal/experiments -run TestGolden -update
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	rm -rf artifacts test_output.txt bench_output.txt

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestValidateFig1(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "1", "-scale", "0.1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Base sim", "Dragon model", "measured params"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestValidatePresetOverride(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "2", "-scale", "0.1", "-preset", "pero"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pero") {
+		t.Error("preset name missing from output")
+	}
+}
+
+func TestValidateBadFig(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "9"}, &out); err == nil {
+		t.Error("want error for fig out of range")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("want error for unknown flag")
+	}
+	if err := run([]string{"-fig", "1", "-preset", "nope"}, &out); err == nil {
+		t.Error("want error for unknown preset")
+	}
+}

@@ -1,0 +1,79 @@
+package swcc_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"swcc"
+)
+
+// The headline comparison: the four schemes on a 16-processor bus at the
+// paper's middle workload.
+func Example() {
+	p := swcc.MiddleParams()
+	for _, s := range swcc.Schemes() {
+		power, err := swcc.BusPower(s, p, swcc.BusCosts(), 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %5.2f\n", s.Name(), power)
+	}
+	// Output:
+	// Base             13.96
+	// Dragon           12.66
+	// Software-Flush    8.26
+	// No-Cache          3.50
+}
+
+// Per-instruction demand (paper equations 1-2) for one scheme.
+func ExampleComputeDemand() {
+	d, err := swcc.ComputeDemand(swcc.NoCache{}, swcc.MiddleParams(), swcc.BusCosts())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("c = %.4f cpu cycles/instr\nb = %.4f bus cycles/instr\n", d.CPU, d.Interconnect)
+	// Output:
+	// c = 1.3765 cpu cycles/instr
+	// b = 0.2855 bus cycles/instr
+}
+
+// Software coherence on a multistage network, where snooping is
+// impossible (paper Section 6).
+func ExampleEvaluateNetworkAt() {
+	pt, err := swcc.EvaluateNetworkAt(swcc.SoftwareFlush{}, swcc.MiddleParams(), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d processors: power %.0f (utilization %.2f)\n", pt.Processors, pt.Power, pt.Utilization)
+	// Output:
+	// 256 processors: power 143 (utilization 0.56)
+}
+
+// How good must compiler flush placement be to match snoopy hardware?
+func ExampleAPLToMatch() {
+	apl, found, err := swcc.APLToMatch(swcc.Dragon{}, swcc.MiddleParams(), swcc.BusCosts(), 16)
+	if err != nil || !found {
+		log.Fatal(found, err)
+	}
+	fmt.Printf("Software-Flush matches Dragon at apl >= %.0f references per flush\n", apl)
+	// Output:
+	// Software-Flush matches Dragon at apl >= 24 references per flush
+}
+
+// Workload descriptions load from JSON with the paper's parameter names;
+// unspecified parameters take their Table 7 middle values.
+func ExampleReadParams() {
+	p, err := swcc.ReadParams(strings.NewReader(`{"shd": 0.08, "apl": 25}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := swcc.Recommend(p, 16, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("light sharing, lazy flushing: build %s (%.0f%% of Base)\n",
+		best.Scheme.Name(), 100*best.Efficiency)
+	// Output:
+	// light sharing, lazy flushing: build Software-Flush (97% of Base)
+}

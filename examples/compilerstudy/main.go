@@ -1,0 +1,88 @@
+// Compilerstudy explores the question at the heart of the paper's
+// Software-Flush analysis (Sections 5.3 and 7): how good does compiler
+// flush placement have to be — i.e. how many references to a shared
+// block must elapse between flushes (apl) — before software coherence is
+// competitive with snoopy hardware?
+//
+//	go run ./examples/compilerstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swcc"
+)
+
+func main() {
+	const procs = 16
+	costs := swcc.BusCosts()
+
+	for _, level := range []swcc.Level{swcc.Low, swcc.Mid} {
+		p := swcc.MiddleParams()
+		var err error
+		if p, err = p.WithLevel("shd", level); err != nil {
+			log.Fatal(err)
+		}
+
+		dragon, err := swcc.BusPower(swcc.Dragon{}, p, costs, procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nocache, err := swcc.BusPower(swcc.NoCache{}, p, costs, procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("=== %s sharing (shd=%.2f), %d processors ===\n", level, p.Shd, procs)
+		fmt.Printf("references:  Dragon %.2f | No-Cache %.2f\n\n", dragon, nocache)
+		fmt.Printf("%8s %10s %22s\n", "apl", "SF power", "verdict")
+
+		beatNoCache, beatDragon90, beatDragon := -1.0, -1.0, -1.0
+		for _, apl := range []float64{1, 1.5, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128} {
+			q, err := p.With("apl", apl)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sf, err := swcc.BusPower(swcc.SoftwareFlush{}, q, costs, procs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			verdict := "below No-Cache"
+			switch {
+			case sf >= dragon:
+				verdict = "matches Dragon"
+			case sf >= 0.9*dragon:
+				verdict = "within 10% of Dragon"
+			case sf > nocache:
+				verdict = "beats No-Cache"
+			}
+			if beatNoCache < 0 && sf > nocache {
+				beatNoCache = apl
+			}
+			if beatDragon90 < 0 && sf >= 0.9*dragon {
+				beatDragon90 = apl
+			}
+			if beatDragon < 0 && sf >= dragon {
+				beatDragon = apl
+			}
+			fmt.Printf("%8g %10.2f %22s\n", apl, sf, verdict)
+		}
+		fmt.Println()
+		report := func(label string, apl float64) {
+			if apl < 0 {
+				fmt.Printf("  %-28s never in the swept range\n", label)
+			} else {
+				fmt.Printf("  %-28s apl >= %g\n", label, apl)
+			}
+		}
+		report("beats No-Cache at", beatNoCache)
+		report("within 10% of Dragon at", beatDragon90)
+		report("matches Dragon at", beatDragon)
+		fmt.Println()
+	}
+
+	fmt.Println("The paper's closing caveat applies: if a shared variable is frequently")
+	fmt.Println("updated by different processors it gets ~2 references per flush no")
+	fmt.Println("matter how clever the compiler — software coherence then cannot win.")
+}

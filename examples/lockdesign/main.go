@@ -1,0 +1,94 @@
+// Lockdesign uses the hybrid-coherence extension to answer a question
+// the paper's Section 2.2.3 raises but leaves to the machine designers:
+// the Elxsi 6400 lets the programmer pick No-Cache or Software-Flush per
+// shared variable, and the MultiTitan hard-wires "locks uncached,
+// everything else flushed" — when is that split actually right?
+//
+//	go run ./examples/lockdesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swcc"
+)
+
+func main() {
+	const procs = 16
+	costs := swcc.BusCosts()
+
+	fmt.Println("Hybrid software coherence: uncached locks + flushed shared data")
+	fmt.Printf("(%d-processor bus, middle workload except where noted)\n\n", procs)
+
+	// Scenario: 30% of shared references are lock accesses. Lock
+	// accesses are inherently migratory — if cached and flushed they
+	// would achieve apl ~= 1.2. The remaining shared data flushes at
+	// the episode-sized apl below.
+	const lockShare = 0.30
+	const lockAPL = 1.2
+
+	fmt.Printf("%12s %14s %14s %14s %12s\n",
+		"data apl", "all No-Cache", "all SF", "hybrid", "best")
+	for _, dataAPL := range []float64{2, 4, 8, 16, 32} {
+		// All-Software-Flush: every shared reference flushes at the
+		// reference-weighted average apl (locks drag it down).
+		blended := 1 / (lockShare/lockAPL + (1-lockShare)/dataAPL)
+		pAll, err := swcc.MiddleParams().With("apl", blended)
+		if err != nil {
+			log.Fatal(err)
+		}
+		allSF, err := swcc.BusPower(swcc.SoftwareFlush{}, pAll, costs, procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// All-No-Cache ignores apl entirely.
+		allNC, err := swcc.BusPower(swcc.NoCache{}, swcc.MiddleParams(), costs, procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Hybrid: locks uncached; data flushes at its own apl.
+		pHy, err := swcc.MiddleParams().With("apl", dataAPL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hy, err := swcc.BusPower(swcc.Hybrid{LockFrac: lockShare}, pHy, costs, procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		best := "hybrid"
+		if allSF > hy && allSF > allNC {
+			best = "all SF"
+		} else if allNC > hy && allNC > allSF {
+			best = "all No-Cache"
+		}
+		fmt.Printf("%12g %14.2f %14.2f %14.2f %12s\n", dataAPL, allNC, allSF, hy, best)
+	}
+
+	fmt.Println("\nThe MultiTitan call holds up: once non-lock data achieves even a")
+	fmt.Println("modest apl, taking migratory lock traffic out of the flush machinery")
+	fmt.Println("beats both pure schemes.")
+
+	// And the design-space inverse: how much sharing can each scheme
+	// afford while keeping 75% of Base's power?
+	base, err := swcc.BusPower(swcc.Base{}, swcc.MiddleParams(), costs, procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := 0.75 * base
+	fmt.Printf("\nsharing budget to retain 75%% of Base power (%.1f):\n", target)
+	for _, s := range []swcc.Scheme{swcc.Dragon{}, swcc.Hybrid{LockFrac: lockShare}, swcc.SoftwareFlush{}, swcc.NoCache{}} {
+		shd, found, err := swcc.MaxShdForPower(s, swcc.MiddleParams(), costs, procs, target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !found {
+			fmt.Printf("  %-16s unreachable at any sharing level\n", s.Name())
+			continue
+		}
+		fmt.Printf("  %-16s shd <= %.3f\n", s.Name(), shd)
+	}
+}

@@ -1,0 +1,87 @@
+// Netscaling reproduces the narrative of the paper's Section 6: software
+// coherence on a 256-processor circuit-switched multistage network —
+// where snoopy hardware cannot follow, because there is no broadcast
+// medium to snoop.
+//
+//	go run ./examples/netscaling
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"swcc"
+)
+
+func main() {
+	fmt.Println("Software cache coherence on multistage interconnection networks")
+	fmt.Println("(256 processors = 8 stages of 2x2 crossbars, circuit switched)")
+
+	// Snoopy hardware needs a bus: the model refuses it on a network.
+	_, err := swcc.EvaluateNetworkAt(swcc.Dragon{}, swcc.MiddleParams(), 8)
+	if err == nil {
+		log.Fatal("expected Dragon to be rejected on a network")
+	}
+	fmt.Printf("\nDragon on a network: %v\n", errors.Unwrap(err))
+
+	// Scaling sweep: 2 .. 1024 processors.
+	fmt.Printf("\n%-16s", "processors:")
+	for stages := 1; stages <= 10; stages++ {
+		fmt.Printf("%7d", 1<<stages)
+	}
+	fmt.Println()
+	for _, s := range []swcc.Scheme{swcc.Base{}, swcc.SoftwareFlush{}, swcc.NoCache{}} {
+		pts, err := swcc.EvaluateNetwork(s, swcc.MiddleParams(), 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s", s.Name())
+		for _, pt := range pts {
+			fmt.Printf("%7.1f", pt.Power)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nBoth software schemes scale (power keeps growing), Software-Flush")
+	fmt.Println("more efficiently: fewer, longer messages suit circuit switching,")
+	fmt.Println("where every transaction pays the n-cycle path set-up.")
+
+	// The paper's utilization anchor.
+	u, err := swcc.NetworkUtilization(8, 0.03, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAnchor (Sec. 6.3): 3%% transaction rate x 4-word messages -> U = %.2f (roughly halved)\n", u)
+
+	// Workload classes at 256 processors.
+	fmt.Println("\nutilization at 256 processors by scheme and workload range:")
+	fmt.Printf("%-16s %8s %8s %8s\n", "scheme", "low", "mid", "high")
+	for _, s := range []swcc.Scheme{swcc.Base{}, swcc.SoftwareFlush{}, swcc.NoCache{}} {
+		fmt.Printf("%-16s", s.Name())
+		for _, l := range []swcc.Level{swcc.Low, swcc.Mid, swcc.High} {
+			pt, err := swcc.EvaluateNetworkAt(s, swcc.ParamsAt(l), 8)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %8.3f", pt.Utilization)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nTwo classes emerge (paper Fig. 11): Base everywhere, Software-Flush")
+	fmt.Println("at low/mid, and No-Cache at low are usable; the rest are much poorer.")
+
+	// Extension: packet switching.
+	fmt.Println("\nEXTENSION — packet switching (paper Sec. 7 future work), 256 procs:")
+	for _, s := range []swcc.Scheme{swcc.SoftwareFlush{}, swcc.NoCache{}} {
+		c, err := swcc.EvaluateNetworkAt(s, swcc.MiddleParams(), 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pk, err := swcc.EvaluatePacketNetwork(s, swcc.MiddleParams(), 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s circuit %6.1f -> packet %6.1f (x%.2f)\n", s.Name(), c.Power, pk.Power, pk.Power/c.Power)
+	}
+	fmt.Println("As the paper predicted, removing the path-setup cost helps No-Cache most.")
+}

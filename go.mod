@@ -1,0 +1,3 @@
+module swcc
+
+go 1.22

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Ranking scores one scheme on a workload.
+type Ranking struct {
+	// Scheme is the ranked scheme.
+	Scheme Scheme
+	// Power is its processing power.
+	Power float64
+	// Efficiency is Power relative to the Base scheme on the same
+	// hardware (1.0 = no coherence overhead).
+	Efficiency float64
+}
+
+// RankBus evaluates every candidate scheme on an nproc-processor bus and
+// returns them sorted by descending power. Candidates that cannot run on
+// the given cost table are skipped (e.g. Dragon on network costs); it is
+// an error if none survive.
+func RankBus(candidates []Scheme, p Params, costs *CostTable, nproc int) ([]Ranking, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: no candidate schemes")
+	}
+	base, err := BusPower(Base{}, p, costs, nproc)
+	if err != nil {
+		return nil, err
+	}
+	var out []Ranking
+	for _, s := range candidates {
+		pw, err := BusPower(s, p, costs, nproc)
+		if err != nil {
+			if isUnsupported(err) {
+				continue
+			}
+			return nil, err
+		}
+		r := Ranking{Scheme: s, Power: pw}
+		if base > 0 {
+			r.Efficiency = pw / base
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no candidate runs on %s", ErrUnsupported, costs.Name)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Power > out[j].Power })
+	return out, nil
+}
+
+// RankNetwork does the same for a 2^stages-processor circuit-switched
+// network; bus-only schemes are skipped.
+func RankNetwork(candidates []Scheme, p Params, stages int) ([]Ranking, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: no candidate schemes")
+	}
+	basePt, err := EvaluateNetworkAt(Base{}, p, stages)
+	if err != nil {
+		return nil, err
+	}
+	var out []Ranking
+	for _, s := range candidates {
+		pt, err := EvaluateNetworkAt(s, p, stages)
+		if err != nil {
+			if isUnsupported(err) {
+				continue
+			}
+			return nil, err
+		}
+		r := Ranking{Scheme: s, Power: pt.Power}
+		if basePt.Power > 0 {
+			r.Efficiency = pt.Power / basePt.Power
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no candidate runs on a network", ErrUnsupported)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Power > out[j].Power })
+	return out, nil
+}
+
+// Recommend returns the highest-power implementable coherence scheme
+// (excluding the unimplementable Base reference) for the workload, on a
+// bus when stages == 0 or on a 2^stages network otherwise.
+//
+// This is the library's "which scheme should I build?" entry point; the
+// candidates are the paper's implementable schemes plus the extensions.
+func Recommend(p Params, nproc, stages int) (Ranking, error) {
+	candidates := []Scheme{Dragon{}, SoftwareFlush{}, NoCache{}, Hybrid{LockFrac: 0.3}, Directory{}}
+	var ranked []Ranking
+	var err error
+	if stages == 0 {
+		ranked, err = RankBus(candidates, p, BusCosts(), nproc)
+	} else {
+		ranked, err = RankNetwork(candidates, p, stages)
+	}
+	if err != nil {
+		return Ranking{}, err
+	}
+	return ranked[0], nil
+}
+
+func isUnsupported(err error) bool { return errors.Is(err, ErrUnsupported) }

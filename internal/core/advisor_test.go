@@ -1,0 +1,138 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRankBusOrdering(t *testing.T) {
+	ranked, err := RankBus(PaperSchemes(), MiddleParams(), BusCosts(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 4 {
+		t.Fatalf("got %d rankings", len(ranked))
+	}
+	names := []string{}
+	for i, r := range ranked {
+		names = append(names, r.Scheme.Name())
+		if i > 0 && r.Power > ranked[i-1].Power {
+			t.Error("not sorted by power")
+		}
+		if r.Efficiency <= 0 || r.Efficiency > 1.0001 {
+			t.Errorf("%s efficiency %g", r.Scheme.Name(), r.Efficiency)
+		}
+	}
+	if names[0] != "Base" || names[1] != "Dragon" || names[3] != "No-Cache" {
+		t.Errorf("ordering %v", names)
+	}
+}
+
+func TestRankNetworkSkipsDragon(t *testing.T) {
+	ranked, err := RankNetwork(PaperSchemes(), MiddleParams(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ranked {
+		if r.Scheme.Name() == "Dragon" {
+			t.Fatal("Dragon must be skipped on a network")
+		}
+	}
+	if len(ranked) != 3 {
+		t.Errorf("got %d rankings, want 3", len(ranked))
+	}
+}
+
+func TestRecommendBus(t *testing.T) {
+	// On a bus at middle parameters the snoopy hardware wins.
+	best, err := Recommend(MiddleParams(), 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Scheme.Name() != "Dragon" {
+		t.Errorf("bus recommendation = %s, want Dragon", best.Scheme.Name())
+	}
+}
+
+func TestRecommendNetwork(t *testing.T) {
+	best, err := Recommend(MiddleParams(), 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Scheme.Name() == "Dragon" {
+		t.Error("network recommendation cannot be a snoopy scheme")
+	}
+	if best.Power <= 0 {
+		t.Error("zero power recommendation")
+	}
+}
+
+func TestRankErrors(t *testing.T) {
+	if _, err := RankBus(nil, MiddleParams(), BusCosts(), 4); err == nil {
+		t.Error("want error for no candidates")
+	}
+	if _, err := RankNetwork(nil, MiddleParams(), 8); err == nil {
+		t.Error("want error for no candidates")
+	}
+	if _, err := RankBus([]Scheme{Dragon{}}, MiddleParams(), NetworkCosts(4), 4); err == nil {
+		t.Error("want error when every candidate is unsupported")
+	}
+	bad := MiddleParams()
+	bad.LS = -1
+	if _, err := RankBus(PaperSchemes(), bad, BusCosts(), 4); err == nil {
+		t.Error("want error for invalid params")
+	}
+}
+
+func TestParamsJSONRoundTrip(t *testing.T) {
+	p := ParamsAt(High)
+	var buf bytes.Buffer
+	if err := p.WriteParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadParams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("round trip: %+v != %+v", got, p)
+	}
+}
+
+func TestReadParamsPartialOverride(t *testing.T) {
+	p, err := ReadParams(strings.NewReader(`{"shd": 0.4, "apl": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shd != 0.4 || p.APL != 2 {
+		t.Errorf("overrides not applied: %+v", p)
+	}
+	mid := MiddleParams()
+	if p.LS != mid.LS || p.OClean != mid.OClean {
+		t.Error("unspecified fields must default to middle values")
+	}
+}
+
+func TestReadParamsRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{"shared": 0.4}`, // unknown field (typo of shd)
+		`{"apl": 0.5}`,    // invalid domain
+		`{"ls": "high"}`,  // wrong type
+		`not json`,
+	}
+	for _, in := range cases {
+		if _, err := ReadParams(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: want error", in)
+		}
+	}
+}
+
+func TestWriteParamsRejectsInvalid(t *testing.T) {
+	p := MiddleParams()
+	p.APL = 0
+	var buf bytes.Buffer
+	if err := p.WriteParams(&buf); err == nil {
+		t.Error("want error for invalid params")
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Analysis helpers: design-space questions the paper's discussion raises
+// ("how good must the compiler's flush placement be?", "how much sharing
+// can a software scheme afford?") answered by inverting the model.
+
+// APLToMatch returns the smallest apl at which Software-Flush's
+// processing power reaches the target scheme's power, at the given
+// workload and machine size. found is false when even an arbitrarily
+// large apl (no flush overhead at all) cannot reach the target — e.g.
+// Software-Flush can never beat Base.
+//
+// Software-Flush power is non-decreasing in apl, so a bisection on
+// [1, aplMax] is exact to the returned tolerance.
+func APLToMatch(target Scheme, p Params, costs *CostTable, nproc int) (apl float64, found bool, err error) {
+	if nproc < 1 {
+		return 0, false, fmt.Errorf("core: nproc %d < 1", nproc)
+	}
+	goal, err := BusPower(target, p, costs, nproc)
+	if err != nil {
+		return 0, false, err
+	}
+	powerAt := func(apl float64) (float64, error) {
+		q, err := p.With("apl", apl)
+		if err != nil {
+			return 0, err
+		}
+		return BusPower(SoftwareFlush{}, q, costs, nproc)
+	}
+	const aplMax = 1e9
+	top, err := powerAt(aplMax)
+	if err != nil {
+		return 0, false, err
+	}
+	if top < goal {
+		return math.Inf(1), false, nil
+	}
+	bottom, err := powerAt(1)
+	if err != nil {
+		return 0, false, err
+	}
+	if bottom >= goal {
+		return 1, true, nil
+	}
+	lo, hi := 1.0, aplMax
+	for i := 0; i < 100 && hi-lo > 1e-6*hi; i++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection: apl spans decades
+		pw, err := powerAt(mid)
+		if err != nil {
+			return 0, false, err
+		}
+		if pw >= goal {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true, nil
+}
+
+// MaxShdForPower returns the largest shared fraction shd at which the
+// scheme still delivers at least minPower at nproc processors (all other
+// parameters as given). found is false if even shd = 0 cannot reach
+// minPower.
+//
+// The bisection assumes power is non-increasing in shd. That holds for
+// Base, No-Cache, Dragon, and Directory unconditionally; for
+// Software-Flush it can fail when apl is high and msdat is high
+// (flush-managed data then misses *less* than unshared data — see
+// TestSoftwareFlushSharingCanPay), in which case the returned budget is
+// a conservative feasible point rather than the exact supremum.
+func MaxShdForPower(s Scheme, p Params, costs *CostTable, nproc int, minPower float64) (shd float64, found bool, err error) {
+	if nproc < 1 {
+		return 0, false, fmt.Errorf("core: nproc %d < 1", nproc)
+	}
+	powerAt := func(shd float64) (float64, error) {
+		q, err := p.With("shd", shd)
+		if err != nil {
+			return 0, err
+		}
+		return BusPower(s, q, costs, nproc)
+	}
+	atZero, err := powerAt(0)
+	if err != nil {
+		return 0, false, err
+	}
+	if atZero < minPower {
+		return 0, false, nil
+	}
+	atOne, err := powerAt(1)
+	if err != nil {
+		return 0, false, err
+	}
+	if atOne >= minPower {
+		return 1, true, nil
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		pw, err := powerAt(mid)
+		if err != nil {
+			return 0, false, err
+		}
+		if pw >= minPower {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, true, nil
+}
+
+// EfficiencyVsBase returns the scheme's power as a fraction of the Base
+// scheme's at the same workload and machine size: the coherence overhead
+// expressed as lost processing power.
+func EfficiencyVsBase(s Scheme, p Params, costs *CostTable, nproc int) (float64, error) {
+	base, err := BusPower(Base{}, p, costs, nproc)
+	if err != nil {
+		return 0, err
+	}
+	pw, err := BusPower(s, p, costs, nproc)
+	if err != nil {
+		return 0, err
+	}
+	if base == 0 {
+		return 0, fmt.Errorf("core: base power is zero")
+	}
+	return pw / base, nil
+}

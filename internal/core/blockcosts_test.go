@@ -1,0 +1,74 @@
+package core
+
+import "testing"
+
+func TestBusCostsForBlockAnchoredAtTable1(t *testing.T) {
+	four := BusCostsForBlock(4)
+	table1 := BusCosts()
+	for _, op := range Ops() {
+		if four.Cost(op) != table1.Cost(op) {
+			t.Errorf("%v: 4-word generalization %+v != Table 1 %+v", op, four.Cost(op), table1.Cost(op))
+		}
+	}
+}
+
+func TestNetworkCostsForBlockAnchoredAtTable9(t *testing.T) {
+	for _, stages := range []int{1, 4, 8} {
+		four := NetworkCostsForBlock(stages, 4)
+		table9 := NetworkCosts(stages)
+		for _, op := range Ops() {
+			if four.Defines(op) != table9.Defines(op) || four.Cost(op) != table9.Cost(op) {
+				t.Errorf("stages=%d %v: generalization differs from Table 9", stages, op)
+			}
+		}
+	}
+}
+
+func TestBlockCostsScaleWithWords(t *testing.T) {
+	// Block transfers cost one extra bus cycle per extra word (two for
+	// dirty misses); word operations stay fixed.
+	w2 := BusCostsForBlock(2)
+	w8 := BusCostsForBlock(8)
+	if got := w8.Cost(OpCleanMissMem).Interconnect - w2.Cost(OpCleanMissMem).Interconnect; got != 6 {
+		t.Errorf("clean miss bus delta = %g, want 6", got)
+	}
+	if got := w8.Cost(OpDirtyMissMem).Interconnect - w2.Cost(OpDirtyMissMem).Interconnect; got != 12 {
+		t.Errorf("dirty miss bus delta = %g, want 12", got)
+	}
+	if w8.Cost(OpReadThrough) != w2.Cost(OpReadThrough) || w8.Cost(OpWriteBroadcast) != w2.Cost(OpWriteBroadcast) {
+		t.Error("word operations must not scale with block size")
+	}
+	// Degenerate input clamps rather than producing nonsense.
+	if BusCostsForBlock(0).Cost(OpCleanMissMem).Interconnect != 4 {
+		t.Error("words < 1 should clamp to 1")
+	}
+	// Interconnect <= CPU everywhere, for every size.
+	for _, words := range []int{1, 2, 8, 16} {
+		for _, tab := range []*CostTable{BusCostsForBlock(words), NetworkCostsForBlock(6, words)} {
+			for _, op := range Ops() {
+				c := tab.Cost(op)
+				if c.Interconnect > c.CPU {
+					t.Errorf("%s %v: bus %g > cpu %g", tab.Name, op, c.Interconnect, c.CPU)
+				}
+			}
+		}
+	}
+}
+
+func TestLargerBlocksTradeMissCostForMissRate(t *testing.T) {
+	// In the model with a FIXED miss rate, larger blocks only cost
+	// more: power must fall. (In simulation the miss rate falls too;
+	// the blocksize experiment explores the real trade-off.)
+	p := MiddleParams()
+	prev := 1e18
+	for _, words := range []int{2, 4, 8, 16} {
+		pw, err := BusPower(Base{}, p, BusCostsForBlock(words), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pw >= prev {
+			t.Errorf("words=%d: power %g did not fall", words, pw)
+		}
+		prev = pw
+	}
+}

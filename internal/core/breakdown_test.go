@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestDemandBreakdownSumsToTotals(t *testing.T) {
+	for _, s := range append(PaperSchemes(), Hybrid{LockFrac: 0.3}, Directory{}) {
+		breakdown, d, err := DemandBreakdown(s, MiddleParams(), BusCosts())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		var cpu, ic, cpuShare, icShare float64
+		for _, oc := range breakdown {
+			cpu += oc.CPU
+			ic += oc.Interconnect
+			cpuShare += oc.CPUShare
+			icShare += oc.InterconnectShare
+		}
+		if !approx(cpu, d.CPU, 1e-12) || !approx(ic, d.Interconnect, 1e-12) {
+			t.Errorf("%s: breakdown sums (%g,%g) != demand (%g,%g)", s.Name(), cpu, ic, d.CPU, d.Interconnect)
+		}
+		if !approx(cpuShare, 1, 1e-9) || !approx(icShare, 1, 1e-9) {
+			t.Errorf("%s: shares sum to (%g,%g), want 1", s.Name(), cpuShare, icShare)
+		}
+	}
+}
+
+func TestDemandBreakdownSorted(t *testing.T) {
+	breakdown, _, err := DemandBreakdown(NoCache{}, MiddleParams(), BusCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(breakdown); i++ {
+		if breakdown[i].Interconnect > breakdown[i-1].Interconnect+1e-15 {
+			t.Error("breakdown not sorted by interconnect contribution")
+		}
+	}
+	// For No-Cache at middle params, the read-through dominates bus
+	// demand (Section 5.1's diagnosis of why No-Cache loses).
+	if breakdown[0].Op != OpReadThrough {
+		t.Errorf("No-Cache's dominant bus consumer = %v, want read-through", breakdown[0].Op)
+	}
+}
+
+func TestDemandBreakdownErrors(t *testing.T) {
+	bad := MiddleParams()
+	bad.LS = 9
+	if _, _, err := DemandBreakdown(Base{}, bad, BusCosts()); err == nil {
+		t.Error("want error for invalid params")
+	}
+	if _, _, err := DemandBreakdown(Dragon{}, MiddleParams(), NetworkCosts(4)); err == nil {
+		t.Error("want error for unsupported scheme")
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"swcc/internal/queueing"
+)
+
+// BusPoint is the model's prediction for one processor count on a shared
+// bus.
+type BusPoint struct {
+	// Processors is the machine size n.
+	Processors int
+	// CPU is c, the mean CPU cycles per instruction without contention.
+	CPU float64
+	// Bus is b, the mean bus cycles per instruction.
+	Bus float64
+	// Wait is w, the mean contention cycles per instruction.
+	Wait float64
+	// Utilization is U = 1/(c+w), the fraction of time in productive
+	// (1-cycle-per-instruction) computation.
+	Utilization float64
+	// Power is n*U, the machine's processing power in equivalent fully
+	// utilized processors.
+	Power float64
+	// BusUtilization is the fraction of time the bus is busy.
+	BusUtilization float64
+}
+
+// EvaluateBus runs the bus model for populations 1..maxProcs and returns
+// one point per machine size. The contention model is the closed
+// single-server queueing network of Section 2.3: transactions of mean
+// service b arrive once every c-b cycles per processor.
+func EvaluateBus(s Scheme, p Params, costs *CostTable, maxProcs int) ([]BusPoint, error) {
+	if maxProcs < 1 {
+		return nil, fmt.Errorf("core: maxProcs %d < 1", maxProcs)
+	}
+	d, err := ComputeDemand(s, p, costs)
+	if err != nil {
+		return nil, err
+	}
+	mva, err := queueing.SingleServerMVA(d.Think(), d.Interconnect, maxProcs)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]BusPoint, maxProcs)
+	for i, r := range mva {
+		u := 1 / (d.CPU + r.Wait)
+		points[i] = BusPoint{
+			Processors:     r.Customers,
+			CPU:            d.CPU,
+			Bus:            d.Interconnect,
+			Wait:           r.Wait,
+			Utilization:    u,
+			Power:          float64(r.Customers) * u,
+			BusUtilization: r.Utilization,
+		}
+	}
+	return points, nil
+}
+
+// BusPower is a convenience wrapper returning only the processing power at
+// exactly nproc processors.
+func BusPower(s Scheme, p Params, costs *CostTable, nproc int) (float64, error) {
+	pts, err := EvaluateBus(s, p, costs, nproc)
+	if err != nil {
+		return 0, err
+	}
+	return pts[nproc-1].Power, nil
+}
+
+// SaturationPower returns the asymptotic processing power of a scheme on
+// the bus: when the bus saturates, the machine completes one transaction
+// per b cycles, i.e. 1/b instructions per cycle, regardless of n.
+func SaturationPower(s Scheme, p Params, costs *CostTable) (float64, error) {
+	d, err := ComputeDemand(s, p, costs)
+	if err != nil {
+		return 0, err
+	}
+	if d.Interconnect == 0 {
+		return 0, nil // never saturates; power grows without bound
+	}
+	return 1 / d.Interconnect, nil
+}

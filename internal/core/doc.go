@@ -1,0 +1,23 @@
+// Package core implements the analytical cache-coherence performance model
+// of Owicki & Agarwal, "Evaluating the Performance of Software Cache
+// Coherence" (ASPLOS 1989).
+//
+// The model composes three parts:
+//
+//   - A system model (CostTable): CPU and bus/network cycle counts for each
+//     hardware operation — paper Table 1 for buses, Table 9 for a
+//     circuit-switched multistage network.
+//   - A workload model (Scheme.Frequencies): per-instruction frequencies of
+//     those operations as functions of eleven workload parameters (Params,
+//     paper Table 2), with one Scheme per coherence mechanism — Base,
+//     No-Cache, Software-Flush, Dragon (paper Tables 3-6).
+//   - A contention model: exact MVA for the shared bus (EvaluateBus) and
+//     Patel's fixed point for the multistage network (EvaluateNetwork).
+//
+// From frequencies and costs the model derives c, the mean CPU cycles per
+// instruction, and b, the mean bus (or network) cycles per instruction
+// (paper equations 1-2). Bus transactions then arrive once every c-b
+// cycles with mean service b; contention adds w waiting cycles, processor
+// utilization is U = 1/(c+w), and an n-processor machine delivers
+// processing power n*U.
+package core

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHybridDegeneratesToNoCache(t *testing.T) {
+	p := MiddleParams()
+	bus := BusCosts()
+	h := demand(t, Hybrid{LockFrac: 1}, p, bus)
+	nc := demand(t, NoCache{}, p, bus)
+	if !approx(h.CPU, nc.CPU, 1e-12) || !approx(h.Interconnect, nc.Interconnect, 1e-12) {
+		t.Errorf("LockFrac=1: hybrid (%g,%g) != No-Cache (%g,%g)", h.CPU, h.Interconnect, nc.CPU, nc.Interconnect)
+	}
+}
+
+func TestHybridDegeneratesToSoftwareFlush(t *testing.T) {
+	p := MiddleParams()
+	bus := BusCosts()
+	h := demand(t, Hybrid{LockFrac: 0}, p, bus)
+	sf := demand(t, SoftwareFlush{}, p, bus)
+	if !approx(h.CPU, sf.CPU, 1e-12) || !approx(h.Interconnect, sf.Interconnect, 1e-12) {
+		t.Errorf("LockFrac=0: hybrid (%g,%g) != Software-Flush (%g,%g)", h.CPU, h.Interconnect, sf.CPU, sf.Interconnect)
+	}
+}
+
+func TestHybridInterpolatesMonotonically(t *testing.T) {
+	// At middle parameters No-Cache is costlier than Software-Flush,
+	// so demand must rise monotonically with the lock fraction.
+	p := MiddleParams()
+	bus := BusCosts()
+	prev := -1.0
+	for _, lf := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		d := demand(t, Hybrid{LockFrac: lf}, p, bus)
+		if d.Interconnect < prev {
+			t.Errorf("lock=%g: bus demand %g decreased", lf, d.Interconnect)
+		}
+		prev = d.Interconnect
+	}
+}
+
+func TestHybridLocksCheaperThanFlushedLocksAtLowAPL(t *testing.T) {
+	// The MultiTitan design point: when locks would be flushed after
+	// ~1 use (apl=1 for them), keeping them uncacheable is cheaper
+	// than flushing everything. Model: compare all-SF at apl=1
+	// against hybrid where 30% lock refs go No-Cache and the rest
+	// enjoy apl=8.
+	p, err := MiddleParams().With("apl", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allFlush, err := BusPower(SoftwareFlush{}, p, BusCosts(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := MiddleParams().With("apl", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := BusPower(Hybrid{LockFrac: 0.3}, q, BusCosts(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hybrid <= allFlush {
+		t.Errorf("hybrid %g should beat flush-everything-at-apl-1 %g", hybrid, allFlush)
+	}
+}
+
+func TestHybridValidation(t *testing.T) {
+	p := MiddleParams()
+	if _, err := ComputeDemand(Hybrid{LockFrac: -0.1}, p, BusCosts()); err == nil {
+		t.Error("want error for negative lock fraction")
+	}
+	if _, err := ComputeDemand(Hybrid{LockFrac: 1.1}, p, BusCosts()); err == nil {
+		t.Error("want error for lock fraction > 1")
+	}
+}
+
+func TestHybridStringAndName(t *testing.T) {
+	h := Hybrid{LockFrac: 0.25}
+	if h.Name() != "Hybrid" {
+		t.Errorf("name = %q", h.Name())
+	}
+	if !strings.Contains(h.String(), "0.25") {
+		t.Errorf("string = %q", h.String())
+	}
+}
+
+func TestHybridOnNetwork(t *testing.T) {
+	// Both component schemes are network-capable, so the hybrid is
+	// too.
+	pt, err := EvaluateNetworkAt(Hybrid{LockFrac: 0.3}, MiddleParams(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := EvaluateNetworkAt(SoftwareFlush{}, MiddleParams(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := EvaluateNetworkAt(NoCache{}, MiddleParams(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pt.Power < sf.Power && pt.Power > nc.Power) {
+		t.Errorf("hybrid network power %g should sit between No-Cache %g and Software-Flush %g",
+			pt.Power, nc.Power, sf.Power)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// paramsJSON is the on-disk form of Params, keyed by the paper's
+// parameter names.
+type paramsJSON struct {
+	LS     *float64 `json:"ls"`
+	MsDat  *float64 `json:"msdat"`
+	MsIns  *float64 `json:"mains"`
+	MD     *float64 `json:"md"`
+	Shd    *float64 `json:"shd"`
+	WR     *float64 `json:"wr"`
+	APL    *float64 `json:"apl"`
+	MdShd  *float64 `json:"mdshd"`
+	OClean *float64 `json:"oclean"`
+	OPres  *float64 `json:"opres"`
+	NShd   *float64 `json:"nshd"`
+}
+
+// ReadParams decodes a JSON workload description. Omitted fields default
+// to their Table 7 middle values, so a file can override just the
+// parameters a study cares about:
+//
+//	{"shd": 0.4, "apl": 2}
+//
+// Unknown fields are rejected (they are almost certainly typos of the
+// paper's parameter names). The result is validated.
+func ReadParams(r io.Reader) (Params, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var pj paramsJSON
+	if err := dec.Decode(&pj); err != nil {
+		return Params{}, fmt.Errorf("core: decoding params: %w", err)
+	}
+	p := MiddleParams()
+	apply := func(dst *float64, src *float64) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	apply(&p.LS, pj.LS)
+	apply(&p.MsDat, pj.MsDat)
+	apply(&p.MsIns, pj.MsIns)
+	apply(&p.MD, pj.MD)
+	apply(&p.Shd, pj.Shd)
+	apply(&p.WR, pj.WR)
+	apply(&p.APL, pj.APL)
+	apply(&p.MdShd, pj.MdShd)
+	apply(&p.OClean, pj.OClean)
+	apply(&p.OPres, pj.OPres)
+	apply(&p.NShd, pj.NShd)
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
+// WriteParams encodes the workload as indented JSON with the paper's
+// parameter names.
+func (p Params) WriteParams(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	pj := paramsJSON{
+		LS: &p.LS, MsDat: &p.MsDat, MsIns: &p.MsIns, MD: &p.MD,
+		Shd: &p.Shd, WR: &p.WR, APL: &p.APL, MdShd: &p.MdShd,
+		OClean: &p.OClean, OPres: &p.OPres, NShd: &p.NShd,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pj)
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEvaluateNetworkAtBasics(t *testing.T) {
+	pt, err := EvaluateNetworkAt(Base{}, MiddleParams(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Processors != 256 || pt.Stages != 8 {
+		t.Errorf("got %d processors / %d stages, want 256 / 8", pt.Processors, pt.Stages)
+	}
+	if pt.Utilization <= 0 || pt.Utilization > 1 {
+		t.Errorf("utilization %g out of range", pt.Utilization)
+	}
+	if !approx(pt.Power, 256*pt.Utilization, 1e-9) {
+		t.Errorf("power %g != 256*U", pt.Power)
+	}
+}
+
+func TestNetworkUncontendedLimitMatchesBusFormula(t *testing.T) {
+	// A nearly idle workload on the network must give U ~= 1/c, the
+	// bus formula with w = 0.
+	p := MiddleParams()
+	p.LS, p.MsDat, p.MsIns, p.Shd = 0.01, 0.0001, 0.00001, 0
+	pt, err := EvaluateNetworkAt(Base{}, p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(pt.Utilization, 1/pt.CPU, 1e-3) {
+		t.Errorf("idle network U = %g, want ~1/c = %g", pt.Utilization, 1/pt.CPU)
+	}
+}
+
+func TestSoftwareSchemesScaleOnNetwork(t *testing.T) {
+	// Section 6.3 / Conclusion: "Both software schemes scale well" —
+	// power keeps increasing with machine size.
+	for _, s := range []Scheme{Base{}, SoftwareFlush{}, NoCache{}} {
+		pts, err := EvaluateNetwork(s, MiddleParams(), 10)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Power <= pts[i-1].Power {
+				t.Errorf("%s: power not scaling at %d procs: %g -> %g",
+					s.Name(), pts[i].Processors, pts[i-1].Power, pts[i].Power)
+			}
+		}
+	}
+}
+
+func TestSoftwareFlushBeatsNoCacheOnNetwork(t *testing.T) {
+	// Section 6.3: "the Software-Flush scheme is clearly more
+	// efficient" — fewer, longer messages win on a circuit-switched
+	// network because of the high fixed path-setup cost.
+	for stages := 2; stages <= 10; stages++ {
+		sf, err := EvaluateNetworkAt(SoftwareFlush{}, MiddleParams(), stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc, err := EvaluateNetworkAt(NoCache{}, MiddleParams(), stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sf.Power <= nc.Power {
+			t.Errorf("stages=%d: SF power %g <= No-Cache %g", stages, sf.Power, nc.Power)
+		}
+	}
+}
+
+func TestNetworkBeatsBusWhenBusSaturates(t *testing.T) {
+	// Figure 10: once the bus saturates, the network's scaling
+	// bandwidth wins. Compare Software-Flush at 64 processors.
+	p := MiddleParams()
+	busPts, err := EvaluateBus(SoftwareFlush{}, p, BusCosts(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netPt, err := EvaluateNetworkAt(SoftwareFlush{}, p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netPt.Power <= busPts[63].Power {
+		t.Errorf("64 procs: network power %g should beat saturated bus %g", netPt.Power, busPts[63].Power)
+	}
+}
+
+func TestBusBeatsNetworkSmallScale(t *testing.T) {
+	// Figure 10's other half: at very small scale the bus (no
+	// path-setup cost) is ahead.
+	p := MiddleParams()
+	busPts, err := EvaluateBus(Base{}, p, BusCosts(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netPt, err := EvaluateNetworkAt(Base{}, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busPts[1].Power <= netPt.Power {
+		t.Errorf("2 procs: bus power %g should beat network %g", busPts[1].Power, netPt.Power)
+	}
+}
+
+func TestNetworkUtilizationPaperAnchor(t *testing.T) {
+	// Section 6.3: 3% transaction rate with 4-word messages on the
+	// 256-processor network roughly halves processor utilization.
+	u, err := NetworkUtilization(8, 0.03, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u < 0.35 || u > 0.62 {
+		t.Errorf("U = %g, want roughly halved", u)
+	}
+}
+
+func TestNetworkUtilizationMonotoneInMessageSize(t *testing.T) {
+	prev := 2.0
+	for _, msg := range []float64{1, 2, 4, 8, 16} {
+		u, err := NetworkUtilization(8, 0.02, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u >= prev {
+			t.Errorf("msg=%g: U %g not decreasing (prev %g)", msg, u, prev)
+		}
+		prev = u
+	}
+}
+
+func TestRateMattersMoreThanMessageSize(t *testing.T) {
+	// Section 6.3: "In a circuit-switched network, a change in the
+	// reference rate impacts system performance more than a
+	// proportional change in the blocksize."  Doubling the rate should
+	// hurt at least as much as doubling the message size.
+	uRate, err := NetworkUtilization(8, 0.04, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uMsg, err := NetworkUtilization(8, 0.02, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uRate > uMsg {
+		t.Errorf("doubling rate (U=%g) should cost at least as much as doubling message size (U=%g)", uRate, uMsg)
+	}
+}
+
+func TestNetworkWorkloadPointClasses(t *testing.T) {
+	// Section 6.3: Base at all ranges, SF low/mid, and No-Cache low
+	// form the reasonable class; SF high, No-Cache mid/high are much
+	// poorer. Use utilization 0.35 as the class boundary and require
+	// a visible gap.
+	type combo struct {
+		s    Scheme
+		l    Level
+		good bool
+	}
+	combos := []combo{
+		{Base{}, Low, true}, {Base{}, Mid, true}, {Base{}, High, true},
+		{SoftwareFlush{}, Low, true}, {SoftwareFlush{}, Mid, true},
+		{NoCache{}, Low, true},
+		{SoftwareFlush{}, High, false},
+		{NoCache{}, Mid, false}, {NoCache{}, High, false},
+	}
+	for _, c := range combos {
+		_, _, u, err := NetworkWorkloadPoint(c.s, c.l, 8)
+		if err != nil {
+			t.Fatalf("%s/%v: %v", c.s.Name(), c.l, err)
+		}
+		if c.good && u < 0.35 {
+			t.Errorf("%s/%v: U = %g, expected reasonable (>= 0.35)", c.s.Name(), c.l, u)
+		}
+		if !c.good && u > 0.35 {
+			t.Errorf("%s/%v: U = %g, expected poor (< 0.35)", c.s.Name(), c.l, u)
+		}
+	}
+}
+
+func TestEvaluateNetworkErrors(t *testing.T) {
+	if _, err := EvaluateNetworkAt(Base{}, MiddleParams(), 0); err == nil {
+		t.Error("want error for zero stages")
+	}
+	if _, err := EvaluateNetwork(Base{}, MiddleParams(), 0); err == nil {
+		t.Error("want error for zero maxStages")
+	}
+	if _, err := EvaluateNetworkAt(Dragon{}, MiddleParams(), 4); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("Dragon on network: want ErrUnsupported, got %v", err)
+	}
+	bad := MiddleParams()
+	bad.APL = 0
+	if _, err := EvaluateNetworkAt(Base{}, bad, 4); err == nil {
+		t.Error("want error for invalid params")
+	}
+}
+
+func TestEvaluatePacketNetworkFavorsNoCache(t *testing.T) {
+	// Extension check (Section 7): packet switching narrows or closes
+	// No-Cache's gap to Software-Flush relative to circuit switching,
+	// because it removes the per-transaction path-setup cost that
+	// punishes frequent short messages.
+	p := MiddleParams()
+	stages := 8
+	sfC, err := EvaluateNetworkAt(SoftwareFlush{}, p, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncC, err := EvaluateNetworkAt(NoCache{}, p, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfP, err := EvaluatePacketNetwork(SoftwareFlush{}, p, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncP, err := EvaluatePacketNetwork(NoCache{}, p, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuitRatio := ncC.Power / sfC.Power
+	packetRatio := ncP.Power / sfP.Power
+	if packetRatio <= circuitRatio {
+		t.Errorf("packet switching should favor No-Cache: circuit ratio %g, packet ratio %g",
+			circuitRatio, packetRatio)
+	}
+}
+
+func TestEvaluatePacketNetworkErrors(t *testing.T) {
+	if _, err := EvaluatePacketNetwork(Base{}, MiddleParams(), 0); err == nil {
+		t.Error("want error for zero stages")
+	}
+	if _, err := EvaluatePacketNetwork(Dragon{}, MiddleParams(), 4); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("want ErrUnsupported, got %v", err)
+	}
+}
+
+func TestDirectoryBetweenBaseAndSoftwareOnNetwork(t *testing.T) {
+	// The directory extension should cost more than Base but less
+	// than No-Cache at middle parameters.
+	p := MiddleParams()
+	base, err := EvaluateNetworkAt(Base{}, p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := EvaluateNetworkAt(Directory{}, p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := EvaluateNetworkAt(NoCache{}, p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(dir.Power < base.Power && dir.Power > nc.Power) {
+		t.Errorf("directory power %g should lie between No-Cache %g and Base %g",
+			dir.Power, nc.Power, base.Power)
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsAtLevelsAreValid(t *testing.T) {
+	for _, l := range Levels() {
+		p := ParamsAt(l)
+		if err := p.Validate(); err != nil {
+			t.Errorf("level %v: %v", l, err)
+		}
+	}
+}
+
+func TestMiddleParamsMatchTable7(t *testing.T) {
+	p := MiddleParams()
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"ls", p.LS, 0.3},
+		{"msdat", p.MsDat, 0.014},
+		{"mains", p.MsIns, 0.0022},
+		{"md", p.MD, 0.20},
+		{"shd", p.Shd, 0.25},
+		{"wr", p.WR, 0.25},
+		{"mdshd", p.MdShd, 0.25},
+		{"apl", p.APL, 1 / 0.13},
+		{"oclean", p.OClean, 0.84},
+		{"opres", p.OPres, 0.79},
+		{"nshd", p.NShd, 1.0},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %g, want %g", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestFieldsCoverAllParams(t *testing.T) {
+	fields := Fields()
+	if len(fields) != 11 {
+		t.Fatalf("got %d fields, want 11", len(fields))
+	}
+	// Setting every field to a distinct marker must produce a fully
+	// distinct struct (no two specs alias the same field).
+	var p Params
+	for i, f := range fields {
+		f.Set(&p, float64(i+1))
+	}
+	for i, f := range fields {
+		if got := f.Get(&p); got != float64(i+1) {
+			t.Errorf("field %s: get after set = %g, want %d (aliased field?)", f.Name, got, i+1)
+		}
+	}
+}
+
+func TestFieldLevelOrdering(t *testing.T) {
+	// All fields are ordered low <= mid <= high in workload intensity;
+	// apl decreases because fewer references per flush is heavier.
+	for _, f := range Fields() {
+		if f.Name == "apl" {
+			if !(f.Low > f.Mid && f.Mid > f.High) {
+				t.Errorf("apl levels must decrease: %g %g %g", f.Low, f.Mid, f.High)
+			}
+			continue
+		}
+		if !(f.Low <= f.Mid && f.Mid <= f.High) {
+			t.Errorf("%s levels out of order: %g %g %g", f.Name, f.Low, f.Mid, f.High)
+		}
+	}
+}
+
+func TestFieldByName(t *testing.T) {
+	f, err := FieldByName("oclean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Mid != 0.84 {
+		t.Errorf("oclean mid = %g, want 0.84", f.Mid)
+	}
+	if _, err := FieldByName("bogus"); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("want ErrInvalidParams for unknown field, got %v", err)
+	}
+}
+
+func TestWith(t *testing.T) {
+	p := MiddleParams()
+	q, err := p.With("shd", 0.42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Shd != 0.42 {
+		t.Errorf("shd = %g, want 0.42", q.Shd)
+	}
+	if p.Shd != 0.25 {
+		t.Error("With must not mutate the receiver")
+	}
+	if _, err := p.With("nope", 1); err == nil {
+		t.Error("want error for unknown parameter")
+	}
+}
+
+func TestWithLevel(t *testing.T) {
+	p := MiddleParams()
+	q, err := p.WithLevel("apl", High)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.APL != 1 {
+		t.Errorf("apl at high = %g, want 1", q.APL)
+	}
+	if _, err := p.WithLevel("nope", Low); err == nil {
+		t.Error("want error for unknown parameter")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []Params{
+		func() Params { p := MiddleParams(); p.LS = -0.1; return p }(),
+		func() Params { p := MiddleParams(); p.Shd = 1.5; return p }(),
+		func() Params { p := MiddleParams(); p.APL = 0.5; return p }(),
+		func() Params { p := MiddleParams(); p.NShd = -1; return p }(),
+		func() Params { p := MiddleParams(); p.OClean = 2; return p }(),
+	}
+	for i, p := range cases {
+		if err := p.Validate(); !errors.Is(err, ErrInvalidParams) {
+			t.Errorf("case %d: want ErrInvalidParams, got %v", i, err)
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Low.String() != "low" || Mid.String() != "mid" || High.String() != "high" {
+		t.Error("level names wrong")
+	}
+	if Level(9).String() == "" {
+		t.Error("unknown level must still print")
+	}
+}
+
+func TestWithRoundTrip(t *testing.T) {
+	f := func(idx uint8, raw uint16) bool {
+		fields := Fields()
+		fs := fields[int(idx)%len(fields)]
+		v := float64(raw) / 65535 // in [0,1]
+		if fs.Name == "apl" {
+			v = 1 + v*24
+		}
+		if fs.Name == "nshd" {
+			v *= 7
+		}
+		p, err := MiddleParams().With(fs.Name, v)
+		if err != nil {
+			return false
+		}
+		return fs.Get(&p) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrUnsupported reports a scheme evaluated on hardware that cannot
+// implement it (e.g. Dragon on a multistage network, which has no
+// broadcast medium for snooping).
+var ErrUnsupported = errors.New("core: scheme unsupported on this interconnect")
+
+// OpFreq pairs an operation with its frequency per (non-flush) instruction.
+type OpFreq struct {
+	Op   Op
+	Freq float64
+}
+
+// Scheme is a cache-coherence scheme's workload model: it converts the
+// workload parameters into per-instruction operation frequencies (paper
+// Tables 3-6).
+type Scheme interface {
+	// Name returns the paper's name for the scheme.
+	Name() string
+	// Frequencies returns the operation frequencies per instruction for
+	// the workload p. The list always includes OpInstr with frequency 1.
+	Frequencies(p Params) ([]OpFreq, error)
+}
+
+// Demand holds the per-instruction resource demands of a scheme under a
+// workload and cost table (paper equations 1-2).
+type Demand struct {
+	// CPU is c: mean CPU cycles per instruction without contention.
+	CPU float64
+	// Interconnect is b: mean bus/network cycles per instruction.
+	Interconnect float64
+}
+
+// Think returns c-b, the mean cycles between the end of one interconnect
+// transaction and the start of the next.
+func (d Demand) Think() float64 { return d.CPU - d.Interconnect }
+
+// ComputeDemand evaluates equations (1) and (2): it weights each
+// operation's cost by its frequency. It fails if the scheme uses an
+// operation the cost table does not define, which is how evaluating Dragon
+// on a network is rejected.
+func ComputeDemand(s Scheme, p Params, costs *CostTable) (Demand, error) {
+	if err := p.Validate(); err != nil {
+		return Demand{}, fmt.Errorf("%s: %w", s.Name(), err)
+	}
+	freqs, err := s.Frequencies(p)
+	if err != nil {
+		return Demand{}, err
+	}
+	var d Demand
+	for _, f := range freqs {
+		if f.Freq == 0 {
+			continue
+		}
+		if f.Freq < 0 {
+			return Demand{}, fmt.Errorf("core: %s: negative frequency %g for %v", s.Name(), f.Freq, f.Op)
+		}
+		if !costs.Defines(f.Op) {
+			return Demand{}, fmt.Errorf("%w: %s needs %v, not in %s model", ErrUnsupported, s.Name(), f.Op, costs.Name)
+		}
+		c := costs.Cost(f.Op)
+		d.CPU += f.Freq * c.CPU
+		d.Interconnect += f.Freq * c.Interconnect
+	}
+	return d, nil
+}
+
+// OpContribution is one operation's share of a scheme's per-instruction
+// demand.
+type OpContribution struct {
+	// Op is the hardware operation.
+	Op Op
+	// Freq is its frequency per instruction.
+	Freq float64
+	// CPU and Interconnect are its cycle contributions
+	// (freq x unit cost).
+	CPU, Interconnect float64
+	// CPUShare and InterconnectShare are the fractions of the totals.
+	CPUShare, InterconnectShare float64
+}
+
+// DemandBreakdown itemizes equations (1)-(2): where a scheme's CPU and
+// interconnect cycles actually go, operation by operation, sorted by
+// descending interconnect contribution. The answer to "what would I
+// optimize first?" for each scheme.
+func DemandBreakdown(s Scheme, p Params, costs *CostTable) ([]OpContribution, Demand, error) {
+	d, err := ComputeDemand(s, p, costs)
+	if err != nil {
+		return nil, Demand{}, err
+	}
+	freqs, err := s.Frequencies(p)
+	if err != nil {
+		return nil, Demand{}, err
+	}
+	byOp := map[Op]*OpContribution{}
+	for _, f := range freqs {
+		c := costs.Cost(f.Op)
+		oc := byOp[f.Op]
+		if oc == nil {
+			oc = &OpContribution{Op: f.Op}
+			byOp[f.Op] = oc
+		}
+		oc.Freq += f.Freq
+		oc.CPU += f.Freq * c.CPU
+		oc.Interconnect += f.Freq * c.Interconnect
+	}
+	out := make([]OpContribution, 0, len(byOp))
+	for _, oc := range byOp {
+		if d.CPU > 0 {
+			oc.CPUShare = oc.CPU / d.CPU
+		}
+		if d.Interconnect > 0 {
+			oc.InterconnectShare = oc.Interconnect / d.Interconnect
+		}
+		out = append(out, *oc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Interconnect != out[j].Interconnect {
+			return out[i].Interconnect > out[j].Interconnect
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out, d, nil
+}
+
+// SchemeID enumerates the built-in schemes.
+type SchemeID int
+
+// The four schemes the paper evaluates, plus the directory extension.
+const (
+	SchemeBase SchemeID = iota
+	SchemeNoCache
+	SchemeSoftwareFlush
+	SchemeDragon
+	SchemeDirectory
+)
+
+// String returns the scheme's name.
+func (id SchemeID) String() string {
+	s, err := NewScheme(id)
+	if err != nil {
+		return fmt.Sprintf("SchemeID(%d)", int(id))
+	}
+	return s.Name()
+}
+
+// NewScheme constructs a built-in scheme by ID.
+func NewScheme(id SchemeID) (Scheme, error) {
+	switch id {
+	case SchemeBase:
+		return Base{}, nil
+	case SchemeNoCache:
+		return NoCache{}, nil
+	case SchemeSoftwareFlush:
+		return SoftwareFlush{}, nil
+	case SchemeDragon:
+		return Dragon{}, nil
+	case SchemeDirectory:
+		return Directory{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheme id %d", int(id))
+	}
+}
+
+// PaperSchemes returns the four schemes of the paper in presentation
+// order: Base, Dragon, Software-Flush, No-Cache.
+func PaperSchemes() []Scheme {
+	return []Scheme{Base{}, Dragon{}, SoftwareFlush{}, NoCache{}}
+}
+
+// SchemeByName resolves a case-sensitive scheme name ("base", "nocache",
+// "swflush", "dragon", "directory", or the paper spellings).
+func SchemeByName(name string) (Scheme, error) {
+	switch name {
+	case "base", "Base":
+		return Base{}, nil
+	case "nocache", "no-cache", "No-Cache":
+		return NoCache{}, nil
+	case "swflush", "software-flush", "Software-Flush", "flush":
+		return SoftwareFlush{}, nil
+	case "dragon", "Dragon":
+		return Dragon{}, nil
+	case "directory", "Directory":
+		return Directory{}, nil
+	}
+	return nil, fmt.Errorf("core: unknown scheme %q", name)
+}

@@ -1,0 +1,75 @@
+package core
+
+import "testing"
+
+func TestSystemSpecAnchorsTables(t *testing.T) {
+	// The default spec IS Table 1 / Table 9.
+	bus := SystemSpec{}.Table()
+	for _, op := range Ops() {
+		if bus.Cost(op) != BusCosts().Cost(op) {
+			t.Errorf("bus %v: spec %+v != Table 1 %+v", op, bus.Cost(op), BusCosts().Cost(op))
+		}
+	}
+	for _, stages := range []int{2, 8} {
+		net := SystemSpec{Stages: stages}.Table()
+		for _, op := range Ops() {
+			if net.Defines(op) != NetworkCosts(stages).Defines(op) ||
+				net.Cost(op) != NetworkCosts(stages).Cost(op) {
+				t.Errorf("network n=%d %v differs from Table 9", stages, op)
+			}
+		}
+	}
+}
+
+func TestSystemSpecMemoryLatencyScaling(t *testing.T) {
+	slow := SystemSpec{MemoryCycles: 8}.Table()
+	fast := SystemSpec{MemoryCycles: 2}.Table()
+	// Memory-latency delta reaches misses and read-throughs...
+	if got := slow.Cost(OpCleanMissMem).Interconnect - fast.Cost(OpCleanMissMem).Interconnect; got != 6 {
+		t.Errorf("clean miss latency delta = %g, want 6", got)
+	}
+	if got := slow.Cost(OpReadThrough).Interconnect - fast.Cost(OpReadThrough).Interconnect; got != 6 {
+		t.Errorf("read-through latency delta = %g, want 6", got)
+	}
+	// ...but not posted writes.
+	if slow.Cost(OpWriteThrough) != fast.Cost(OpWriteThrough) {
+		t.Error("posted write-through must not wait on memory")
+	}
+	if slow.Cost(OpDirtyFlush) != fast.Cost(OpDirtyFlush) {
+		t.Error("posted write-back must not wait on memory")
+	}
+	// Interconnect <= CPU across the space.
+	for _, spec := range []SystemSpec{
+		{MemoryCycles: 1}, {MemoryCycles: 16, BlockWords: 8},
+		{Stages: 6, MemoryCycles: 10}, {Stages: 3, BlockWords: 2, MemoryCycles: 5},
+	} {
+		tab := spec.Table()
+		for _, op := range Ops() {
+			c := tab.Cost(op)
+			if c.Interconnect > c.CPU {
+				t.Errorf("%s %v: interconnect %g > cpu %g", tab.Name, op, c.Interconnect, c.CPU)
+			}
+		}
+	}
+}
+
+func TestSlowMemoryHurtsNoCacheMost(t *testing.T) {
+	// No-Cache pays the memory latency on every shared load;
+	// cache-based schemes only on misses. Slowing memory 2 -> 10
+	// cycles must degrade No-Cache by a larger factor than Dragon.
+	p := MiddleParams()
+	degradation := func(s Scheme) float64 {
+		fast, err := BusPower(s, p, SystemSpec{MemoryCycles: 2}.Table(), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := BusPower(s, p, SystemSpec{MemoryCycles: 10}.Table(), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return slow / fast
+	}
+	if dNC, dDragon := degradation(NoCache{}), degradation(Dragon{}); dNC >= dDragon {
+		t.Errorf("No-Cache retains %.2f of its power, Dragon %.2f — expected No-Cache to suffer more", dNC, dDragon)
+	}
+}

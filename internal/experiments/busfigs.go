@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+
+	"swcc/internal/core"
+	"swcc/internal/plot"
+	"swcc/internal/report"
+)
+
+func init() {
+	register(Spec{ID: "fig4", Paper: "Figure 4", Title: "Scheme comparison on a bus, low ls and shd", Run: busLevels(core.Low)})
+	register(Spec{ID: "fig5", Paper: "Figure 5", Title: "Scheme comparison on a bus, medium ls and shd", Run: busLevels(core.Mid)})
+	register(Spec{ID: "fig6", Paper: "Figure 6", Title: "Scheme comparison on a bus, high ls and shd", Run: busLevels(core.High)})
+	register(Spec{ID: "fig7", Paper: "Figure 7", Title: "Software-Flush under varying apl", Run: runFig7})
+	register(Spec{ID: "fig8", Paper: "Figure 8", Title: "Processing power vs apl, low sharing", Run: aplSweep("fig8", core.Low)})
+	register(Spec{ID: "fig9", Paper: "Figure 9", Title: "Processing power vs apl, medium sharing", Run: aplSweep("fig9", core.Mid)})
+}
+
+// busPowerSeries evaluates one scheme's power curve over 1..maxProcs.
+func busPowerSeries(s core.Scheme, p core.Params, maxProcs int) (plot.Series, error) {
+	pts, err := core.EvaluateBus(s, p, core.BusCosts(), maxProcs)
+	if err != nil {
+		return plot.Series{}, err
+	}
+	out := plot.Series{Name: s.Name()}
+	for _, pt := range pts {
+		out.X = append(out.X, float64(pt.Processors))
+		out.Y = append(out.Y, pt.Power)
+	}
+	return out, nil
+}
+
+// idealSeries is the dotted upper bound: power = n.
+func idealSeries(maxProcs int) plot.Series {
+	s := plot.Series{Name: "Ideal (n)"}
+	for n := 1; n <= maxProcs; n++ {
+		s.X = append(s.X, float64(n))
+		s.Y = append(s.Y, float64(n))
+	}
+	return s
+}
+
+// busLevels builds the Figures 4-6 runner: all four schemes at the given
+// ls/shd level, everything else middle.
+func busLevels(l core.Level) func(Options) (*Dataset, error) {
+	return func(opt Options) (*Dataset, error) {
+		maxProcs := opt.maxProcs(16)
+		p := core.MiddleParams()
+		var err error
+		if p, err = p.WithLevel("ls", l); err != nil {
+			return nil, err
+		}
+		if p, err = p.WithLevel("shd", l); err != nil {
+			return nil, err
+		}
+		id := map[core.Level]string{core.Low: "fig4", core.Mid: "fig5", core.High: "fig6"}[l]
+		ds := &Dataset{
+			ID:     id,
+			Title:  fmt.Sprintf("Processing power vs processors, %s ls/shd (bus)", l),
+			XLabel: "processors",
+			YLabel: "processing power",
+		}
+		ds.Series = append(ds.Series, idealSeries(maxProcs))
+		tab := &report.Table{Header: []string{"processors", "Base", "Dragon", "Software-Flush", "No-Cache"}}
+		var curves []plot.Series
+		for _, s := range core.PaperSchemes() {
+			sr, err := busPowerSeries(s, p, maxProcs)
+			if err != nil {
+				return nil, err
+			}
+			curves = append(curves, sr)
+			ds.Series = append(ds.Series, sr)
+		}
+		for i := 0; i < maxProcs; i++ {
+			tab.AddFloats(fmt.Sprint(i+1),
+				round3(curves[0].Y[i]), round3(curves[1].Y[i]), round3(curves[2].Y[i]), round3(curves[3].Y[i]))
+		}
+		ds.Table = tab
+		return ds, nil
+	}
+}
+
+func runFig7(opt Options) (*Dataset, error) {
+	maxProcs := opt.maxProcs(16)
+	ds := &Dataset{
+		ID:     "fig7",
+		Title:  "Software-Flush processing power for several apl values (bus, middle parameters)",
+		XLabel: "processors",
+		YLabel: "processing power",
+	}
+	mid := core.MiddleParams()
+	// Reference curves: Dragon above, No-Cache below.
+	for _, s := range []core.Scheme{core.Dragon{}, core.NoCache{}} {
+		sr, err := busPowerSeries(s, mid, maxProcs)
+		if err != nil {
+			return nil, err
+		}
+		ds.Series = append(ds.Series, sr)
+	}
+	for _, apl := range []float64{1, 2, 4, 8, 25, 100} {
+		p, err := mid.With("apl", apl)
+		if err != nil {
+			return nil, err
+		}
+		sr, err := busPowerSeries(core.SoftwareFlush{}, p, maxProcs)
+		if err != nil {
+			return nil, err
+		}
+		sr.Name = fmt.Sprintf("SF apl=%g", apl)
+		ds.Series = append(ds.Series, sr)
+	}
+	ds.Notes = append(ds.Notes,
+		"apl=1 falls below No-Cache (every shared reference flushes and re-misses);",
+		"large apl approaches and can exceed Dragon")
+	return ds, nil
+}
+
+// aplSweep builds Figures 8-9: power as a function of apl at a fixed
+// sharing level, for a few machine sizes.
+func aplSweep(id string, shdLevel core.Level) func(Options) (*Dataset, error) {
+	return func(opt Options) (*Dataset, error) {
+		base := core.MiddleParams()
+		var err error
+		if base, err = base.WithLevel("shd", shdLevel); err != nil {
+			return nil, err
+		}
+		ds := &Dataset{
+			ID:     id,
+			Title:  fmt.Sprintf("Software-Flush power vs apl, %s sharing (bus)", shdLevel),
+			XLabel: "apl (references per flush, log scale)",
+			YLabel: "processing power",
+			LogX:   true,
+		}
+		tab := &report.Table{Header: []string{"apl", "4 procs", "8 procs", "16 procs"}}
+		sizes := []int{4, 8, 16}
+		series := make([]plot.Series, len(sizes))
+		for i, n := range sizes {
+			series[i].Name = fmt.Sprintf("%d processors", n)
+		}
+		apls := []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+		for _, apl := range apls {
+			p, err := base.With("apl", apl)
+			if err != nil {
+				return nil, err
+			}
+			row := []float64{}
+			for i, n := range sizes {
+				pw, err := core.BusPower(core.SoftwareFlush{}, p, core.BusCosts(), n)
+				if err != nil {
+					return nil, err
+				}
+				series[i].X = append(series[i].X, apl)
+				series[i].Y = append(series[i].Y, pw)
+				row = append(row, round3(pw))
+			}
+			tab.AddFloats(report.FormatFloat(apl), row...)
+		}
+		ds.Series = series
+		ds.Table = tab
+		if shdLevel == core.Low {
+			ds.Notes = append(ds.Notes, "low sharing: performance is sensitive to apl only at small apl, then quickly saturates")
+		} else {
+			ds.Notes = append(ds.Notes, "medium sharing: performance stays sensitive to apl even at relatively high values")
+		}
+		return ds, nil
+	}
+}
+
+func round3(v float64) float64 {
+	return float64(int(v*1000+0.5)) / 1000
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"swcc/internal/core"
+	"swcc/internal/plot"
+	"swcc/internal/report"
+)
+
+func init() {
+	register(Spec{
+		ID: "memspeed", Paper: "Extension (Sec. 6.3 relative-speed remark)",
+		Title: "Sensitivity to memory latency: who suffers when memory is slow?",
+		Run:   runMemSpeed,
+	})
+}
+
+// runMemSpeed sweeps the main-memory latency and evaluates each scheme's
+// 16-processor power. It quantifies the paper's relative-speed remark
+// ("a system that does not cache shared data ... will need to use a much
+// faster network relative to the processor to sustain reasonable
+// performance") for the bus: schemes that touch memory per *reference*
+// (No-Cache) degrade much faster than schemes that touch it per *miss*.
+func runMemSpeed(opt Options) (*Dataset, error) {
+	nproc := opt.maxProcs(16)
+	ds := &Dataset{
+		ID:     "memspeed",
+		Title:  fmt.Sprintf("Processing power vs memory latency (%d-processor bus, middle workload)", nproc),
+		XLabel: "memory access latency (cycles)",
+		YLabel: "processing power",
+	}
+	p := core.MiddleParams()
+	latencies := []int{1, 2, 4, 6, 8, 12, 16}
+	tab := &report.Table{Header: []string{"mem cycles", "Base", "Dragon", "Software-Flush", "No-Cache"}}
+	series := make([]plot.Series, 4)
+	schemes := core.PaperSchemes()
+	for i, s := range schemes {
+		series[i].Name = s.Name()
+	}
+	for _, mem := range latencies {
+		costs := core.SystemSpec{MemoryCycles: mem}.Table()
+		row := []string{fmt.Sprint(mem)}
+		for i, s := range schemes {
+			pw, err := core.BusPower(s, p, costs, nproc)
+			if err != nil {
+				return nil, err
+			}
+			series[i].X = append(series[i].X, float64(mem))
+			series[i].Y = append(series[i].Y, pw)
+			row = append(row, fmt.Sprintf("%.2f", pw))
+		}
+		tab.AddRow(row...)
+	}
+	ds.Series = series
+	ds.Table = tab
+	// Retained-power summary 2 -> 16 cycles.
+	for i, s := range schemes {
+		first, last := series[i].Y[1], series[i].Y[len(latencies)-1]
+		ds.Notes = append(ds.Notes, fmt.Sprintf("%s retains %.0f%% of its power when memory slows 2→16 cycles", s.Name(), 100*last/first))
+	}
+	return ds, nil
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+
+	"swcc/internal/core"
+	"swcc/internal/measure"
+	"swcc/internal/plot"
+	"swcc/internal/report"
+	"swcc/internal/sim"
+	"swcc/internal/trace"
+	"swcc/internal/tracegen"
+)
+
+func init() {
+	register(Spec{ID: "fig1", Paper: "Figure 1", Title: "Model vs simulation, Base and Dragon, 64KB caches", Run: runFig1})
+	register(Spec{ID: "fig2", Paper: "Figure 2", Title: "Cache-size impact on Dragon, model vs simulation, ≤4 CPUs", Run: runFig2})
+	register(Spec{ID: "fig3", Paper: "Figure 3", Title: "Cache-size impact on Dragon, model vs simulation, 8 CPUs", Run: runFig3})
+}
+
+// validationTrace generates the preset trace at the requested scale.
+func validationTrace(opt Options, def string) (*trace.Trace, string, error) {
+	preset := opt.Preset
+	if preset == "" {
+		preset = def
+	}
+	cfg, err := tracegen.Preset(preset)
+	if err != nil {
+		return nil, "", err
+	}
+	cfg.InstrPerCPU = int(float64(cfg.InstrPerCPU) * opt.traceScale())
+	if cfg.InstrPerCPU < 1000 {
+		cfg.InstrPerCPU = 1000
+	}
+	if opt.Seed != 0 {
+		cfg.Seed = opt.Seed
+	}
+	tr, err := tracegen.Generate(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	return tr, preset, nil
+}
+
+// protoScheme pairs a simulator protocol with its analytic scheme.
+type protoScheme struct {
+	proto  sim.Protocol
+	scheme core.Scheme
+}
+
+// validate runs model-vs-simulation for the given schemes and cache size
+// across machine sizes 1..tr.NCPU. It returns (simulated, modeled) power
+// series per scheme plus the parameter measurement used by the model.
+func validate(tr *trace.Trace, cache sim.CacheConfig, pairs []protoScheme) ([]plot.Series, *measure.Measurement, error) {
+	m, err := measure.Extract(tr, cache, 0.5)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []plot.Series
+	for _, pr := range pairs {
+		simSeries := plot.Series{Name: pr.scheme.Name() + " sim"}
+		modelSeries := plot.Series{Name: pr.scheme.Name() + " model"}
+		modelPts, err := core.EvaluateBus(pr.scheme, m.Params, core.BusCosts(), tr.NCPU)
+		if err != nil {
+			return nil, nil, err
+		}
+		for n := 1; n <= tr.NCPU; n++ {
+			sub := tr.Restrict(n)
+			res, err := sim.Run(sim.Config{
+				NCPU:       n,
+				Cache:      cache,
+				Protocol:   pr.proto,
+				WarmupRefs: len(sub.Refs) / 2,
+			}, sub)
+			if err != nil {
+				return nil, nil, err
+			}
+			simSeries.X = append(simSeries.X, float64(n))
+			simSeries.Y = append(simSeries.Y, res.Power())
+			modelSeries.X = append(modelSeries.X, float64(n))
+			modelSeries.Y = append(modelSeries.Y, modelPts[n-1].Power)
+		}
+		out = append(out, simSeries, modelSeries)
+	}
+	return out, m, nil
+}
+
+func seriesTable(series []plot.Series) *report.Table {
+	tab := &report.Table{Header: []string{"processors"}}
+	for _, s := range series {
+		tab.Header = append(tab.Header, s.Name)
+	}
+	if len(series) == 0 || len(series[0].X) == 0 {
+		return tab
+	}
+	for i := range series[0].X {
+		row := []string{report.FormatFloat(series[0].X[i])}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.3f", s.Y[i]))
+		}
+		tab.AddRow(row...)
+	}
+	return tab
+}
+
+func runFig1(opt Options) (*Dataset, error) {
+	tr, preset, err := validationTrace(opt, "pops")
+	if err != nil {
+		return nil, err
+	}
+	cache := sim.CacheConfig{Size: 64 * 1024, BlockSize: 16, Assoc: 2}
+	series, m, err := validate(tr, cache, []protoScheme{
+		{sim.ProtoBase, core.Base{}},
+		{sim.ProtoDragon, core.Dragon{}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{
+		ID:     "fig1",
+		Title:  fmt.Sprintf("Model vs simulation, Base & Dragon, 64KB caches, %q trace", preset),
+		XLabel: "processors",
+		YLabel: "processing power",
+		Series: series,
+		Table:  seriesTable(series),
+	}
+	ds.Notes = append(ds.Notes,
+		fmt.Sprintf("measured params: ls=%.3f msdat=%.4f mains=%.4f md=%.3f shd=%.3f wr=%.3f apl=%.1f oclean=%.3f opres=%.3f nshd=%.2f",
+			m.Params.LS, m.Params.MsDat, m.Params.MsIns, m.Params.MD, m.Params.Shd, m.Params.WR, m.Params.APL, m.Params.OClean, m.Params.OPres, m.Params.NShd),
+		"the exponential-service bus model slightly overestimates contention vs the fixed-service simulator, as in the paper")
+	return ds, nil
+}
+
+func runFig2(opt Options) (*Dataset, error) {
+	tr, preset, err := validationTrace(opt, "pops")
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{
+		ID:     "fig2",
+		Title:  fmt.Sprintf("Dragon model vs simulation across cache sizes, %q trace", preset),
+		XLabel: "processors",
+		YLabel: "processing power",
+	}
+	for _, size := range []int{16 * 1024, 64 * 1024, 256 * 1024} {
+		cache := sim.CacheConfig{Size: size, BlockSize: 16, Assoc: 2}
+		series, _, err := validate(tr, cache, []protoScheme{{sim.ProtoDragon, core.Dragon{}}})
+		if err != nil {
+			return nil, err
+		}
+		for i := range series {
+			series[i].Name = fmt.Sprintf("%dK %s", size/1024, series[i].Name[len("Dragon "):])
+		}
+		ds.Series = append(ds.Series, series...)
+	}
+	ds.Table = seriesTable(ds.Series)
+	return ds, nil
+}
+
+func runFig3(opt Options) (*Dataset, error) {
+	tr, preset, err := validationTrace(opt, "pero8")
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{
+		ID:     "fig3",
+		Title:  fmt.Sprintf("Dragon model vs simulation, 8-processor %q trace", preset),
+		XLabel: "processors",
+		YLabel: "processing power",
+	}
+	for _, size := range []int{16 * 1024, 64 * 1024, 256 * 1024} {
+		cache := sim.CacheConfig{Size: size, BlockSize: 16, Assoc: 2}
+		series, _, err := validate(tr, cache, []protoScheme{{sim.ProtoDragon, core.Dragon{}}})
+		if err != nil {
+			return nil, err
+		}
+		for i := range series {
+			series[i].Name = fmt.Sprintf("%dK %s", size/1024, series[i].Name[len("Dragon "):])
+		}
+		ds.Series = append(ds.Series, series...)
+	}
+	ds.Table = seriesTable(ds.Series)
+	return ds, nil
+}

@@ -1,0 +1,277 @@
+// Package measure extracts the paper's Table 2 workload parameters from a
+// multiprocessor address trace, the way the authors calibrated their model
+// from the ATUM-2 traces:
+//
+//   - ls, shd, wr, apl, mdshd come from direct stream analysis;
+//   - msdat, mains, md come from a Base-scheme shadow simulation with the
+//     caller's cache geometry;
+//   - oclean, opres, nshd come from a Dragon shadow simulation's snoop
+//     observations.
+package measure
+
+import (
+	"errors"
+	"fmt"
+
+	"swcc/internal/core"
+	"swcc/internal/sim"
+	"swcc/internal/trace"
+)
+
+// ErrEmptyTrace reports a trace with no instructions to measure.
+var ErrEmptyTrace = errors.New("measure: trace has no instructions")
+
+// Measurement holds the extracted parameters plus provenance counters
+// useful for reporting.
+type Measurement struct {
+	// Params is the extracted Table 2 parameter set, ready to feed the
+	// analytical model.
+	Params core.Params
+	// Runs is the number of write-containing per-processor reference
+	// runs used to estimate apl.
+	Runs int
+	// RunRefs is the total references across those runs.
+	RunRefs int
+	// FlushDelimited reports whether apl/mdshd came from explicit
+	// flush records (true) or from inter-processor handoffs (false).
+	FlushDelimited bool
+	// Base and Dragon are the shadow-simulation results, exposed so
+	// validation can reuse them without re-simulating.
+	Base, Dragon *sim.Result
+}
+
+// Stability quantifies how trustworthy a measurement is: it re-measures
+// each half of the trace independently and reports, per parameter, the
+// relative difference between the halves. Parameters that disagree badly
+// between halves (short trace, phase behavior) should be treated as
+// ranges, not point values — the paper makes the same caveat about its
+// own short traces.
+func Stability(t *trace.Trace, cache sim.CacheConfig, warmupFrac float64) (map[string]float64, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if len(t.Refs) < 4 {
+		return nil, fmt.Errorf("measure: trace too short for split-half analysis")
+	}
+	mid := len(t.Refs) / 2
+	first := &trace.Trace{NCPU: t.NCPU, Refs: t.Refs[:mid]}
+	second := &trace.Trace{NCPU: t.NCPU, Refs: t.Refs[mid:]}
+	a, err := Extract(first, cache, warmupFrac)
+	if err != nil {
+		return nil, fmt.Errorf("measure: first half: %w", err)
+	}
+	b, err := Extract(second, cache, warmupFrac)
+	if err != nil {
+		return nil, fmt.Errorf("measure: second half: %w", err)
+	}
+	out := make(map[string]float64, 11)
+	for _, f := range core.Fields() {
+		va, vb := f.Get(&a.Params), f.Get(&b.Params)
+		mean := (va + vb) / 2
+		if mean == 0 {
+			out[f.Name] = 0
+			continue
+		}
+		diff := va - vb
+		if diff < 0 {
+			diff = -diff
+		}
+		out[f.Name] = diff / mean
+	}
+	return out, nil
+}
+
+// Extract measures all eleven parameters of the trace under the given
+// cache geometry. warmupFrac in [0,1) is the leading fraction of the
+// trace used only to warm the caches in the shadow simulations; 0.5 is a
+// sensible default for synthetic traces, compensating for compulsory
+// misses that a longer real trace would amortize.
+func Extract(t *trace.Trace, cache sim.CacheConfig, warmupFrac float64) (*Measurement, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if warmupFrac < 0 || warmupFrac >= 1 {
+		return nil, fmt.Errorf("measure: warmup fraction %g not in [0,1)", warmupFrac)
+	}
+	warmup := int(float64(len(t.Refs)) * warmupFrac)
+	m := &Measurement{}
+	if err := m.streamAnalysis(t); err != nil {
+		return nil, err
+	}
+
+	base, err := sim.Run(sim.Config{NCPU: t.NCPU, Cache: cache, Protocol: sim.ProtoBase, WarmupRefs: warmup}, t)
+	if err != nil {
+		return nil, fmt.Errorf("measure: base shadow simulation: %w", err)
+	}
+	m.Base = base
+	tot := base.Totals()
+	if tot.DataRefs() > 0 {
+		m.Params.MsDat = float64(tot.DataMisses) / float64(tot.DataRefs())
+	}
+	if tot.Instructions > 0 {
+		m.Params.MsIns = float64(tot.InstrMisses) / float64(tot.Instructions)
+	}
+	if misses := tot.DataMisses + tot.InstrMisses; misses > 0 {
+		m.Params.MD = float64(tot.DirtyReplacements) / float64(misses)
+	}
+
+	dragon, err := sim.Run(sim.Config{NCPU: t.NCPU, Cache: cache, Protocol: sim.ProtoDragon, WarmupRefs: warmup}, t)
+	if err != nil {
+		return nil, fmt.Errorf("measure: dragon shadow simulation: %w", err)
+	}
+	m.Dragon = dragon
+	m.Params.OClean = dragon.Snoop.OClean()
+	m.Params.OPres = dragon.Snoop.OPres()
+	m.Params.NShd = dragon.Snoop.NShd()
+
+	if err := m.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("measure: extracted parameters invalid: %w", err)
+	}
+	return m, nil
+}
+
+// streamAnalysis fills ls, shd, wr, apl, mdshd from the raw stream.
+func (m *Measurement) streamAnalysis(t *trace.Trace) error {
+	var instr, data, sharedData, sharedWrites, flushes int
+	for _, r := range t.Refs {
+		switch {
+		case r.Kind == trace.IFetch:
+			instr++
+		case r.Kind == trace.Flush:
+			flushes++
+		case r.Kind.IsData():
+			data++
+			if r.Shared {
+				sharedData++
+				if r.Kind == trace.Write {
+					sharedWrites++
+				}
+			}
+		}
+	}
+	if instr == 0 {
+		return ErrEmptyTrace
+	}
+	m.Params.LS = float64(data) / float64(instr)
+	if data > 0 {
+		m.Params.Shd = float64(sharedData) / float64(data)
+	}
+	if sharedData > 0 {
+		m.Params.WR = float64(sharedWrites) / float64(sharedData)
+	}
+	m.FlushDelimited = flushes > 0
+	if m.FlushDelimited {
+		m.aplFromFlushes(t)
+	} else {
+		m.aplFromHandoffs(t)
+	}
+	if m.Params.APL < 1 {
+		m.Params.APL = 1
+	}
+	return nil
+}
+
+type runState struct {
+	count    int
+	hasWrite bool
+}
+
+type cpuBlock struct {
+	cpu   uint8
+	block uint64
+}
+
+// aplFromFlushes delimits per-processor runs on shared blocks by the
+// trace's explicit flush records: apl is the mean references per
+// flushed-block run, mdshd the fraction of flushes whose block was
+// written during the run.
+func (m *Measurement) aplFromFlushes(t *trace.Trace) {
+	const blockShift = 4 // 16-byte blocks for run bookkeeping
+	runs := map[cpuBlock]*runState{}
+	var totalRuns, totalRefs, dirtyRuns, flushedRuns int
+	for _, r := range t.Refs {
+		key := cpuBlock{r.CPU, r.Addr >> blockShift}
+		switch {
+		case r.Kind == trace.Flush:
+			flushedRuns++
+			if st, ok := runs[key]; ok {
+				totalRuns++
+				totalRefs += st.count
+				if st.hasWrite {
+					dirtyRuns++
+				}
+				delete(runs, key)
+			}
+		case r.Kind.IsData() && r.Shared:
+			st := runs[key]
+			if st == nil {
+				st = &runState{}
+				runs[key] = st
+			}
+			st.count++
+			if r.Kind == trace.Write {
+				st.hasWrite = true
+			}
+		}
+	}
+	if totalRuns > 0 {
+		m.Params.APL = float64(totalRefs) / float64(totalRuns)
+		m.Params.MdShd = float64(dirtyRuns) / float64(totalRuns)
+	}
+	m.Runs = totalRuns
+	m.RunRefs = totalRefs
+}
+
+// aplFromHandoffs reproduces the paper's estimate for traces without
+// flush records: count references to a shared block by one processor
+// (at least one a write) between references by another processor.
+func (m *Measurement) aplFromHandoffs(t *trace.Trace) {
+	const blockShift = 4
+	type blockState struct {
+		owner uint8
+		run   runState
+	}
+	blocks := map[uint64]*blockState{}
+	var totalRuns, totalRefs, dirtyRuns, allRuns int
+	endRun := func(st *blockState) {
+		allRuns++
+		if st.run.hasWrite {
+			totalRuns++
+			totalRefs += st.run.count
+			dirtyRuns++
+		}
+		st.run = runState{}
+	}
+	for _, r := range t.Refs {
+		if !r.Kind.IsData() || !r.Shared {
+			continue
+		}
+		blk := r.Addr >> blockShift
+		st := blocks[blk]
+		if st == nil {
+			st = &blockState{owner: r.CPU}
+			blocks[blk] = st
+		}
+		if r.CPU != st.owner {
+			endRun(st)
+			st.owner = r.CPU
+		}
+		st.run.count++
+		if r.Kind == trace.Write {
+			st.run.hasWrite = true
+		}
+	}
+	for _, st := range blocks {
+		if st.run.count > 0 {
+			endRun(st)
+		}
+	}
+	if totalRuns > 0 {
+		m.Params.APL = float64(totalRefs) / float64(totalRuns)
+	}
+	if allRuns > 0 {
+		m.Params.MdShd = float64(dirtyRuns) / float64(allRuns)
+	}
+	m.Runs = totalRuns
+	m.RunRefs = totalRefs
+}

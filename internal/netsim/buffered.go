@@ -1,0 +1,209 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// BufferedConfig describes a cycle-level simulation of a buffered
+// packet-switched multistage network — the paper's Section 7 future-work
+// variant, for which queueing.BufferedNetwork provides the analytical
+// approximation. Switches are output-queued with unbounded buffers and
+// forward one packet per link per cycle.
+type BufferedConfig struct {
+	// Stages is the number of switch stages (2^Stages ports).
+	Stages int
+	// Think is the mean think time between transactions, sampled
+	// exponentially.
+	Think float64
+	// Packets is the number of packets per transaction (the message
+	// words; no circuit set-up exists here).
+	Packets int
+	// Cycles is the simulated horizon.
+	Cycles int
+	// WarmupCycles are excluded from statistics.
+	WarmupCycles int
+	// Seed makes the run deterministic.
+	Seed uint64
+}
+
+func (c BufferedConfig) validate() error {
+	switch {
+	case c.Stages < 1 || c.Stages > 12:
+		return fmt.Errorf("%w: stages %d", ErrBadConfig, c.Stages)
+	case c.Think <= 0:
+		return fmt.Errorf("%w: think %g", ErrBadConfig, c.Think)
+	case c.Packets < 1:
+		return fmt.Errorf("%w: packets %d", ErrBadConfig, c.Packets)
+	case c.Cycles < 1:
+		return fmt.Errorf("%w: cycles %d", ErrBadConfig, c.Cycles)
+	case c.WarmupCycles < 0 || c.WarmupCycles >= c.Cycles:
+		return fmt.Errorf("%w: warmup %d of %d", ErrBadConfig, c.WarmupCycles, c.Cycles)
+	}
+	return nil
+}
+
+// BufferedResult summarizes a buffered-network simulation.
+type BufferedResult struct {
+	// Config echoes the run parameters.
+	Config BufferedConfig
+	// ThinkingFraction is the mean fraction of time processors spent
+	// thinking (not sending or awaiting delivery).
+	ThinkingFraction float64
+	// MeanLatency is the mean cycles from first-packet injection to
+	// last-packet delivery per transaction.
+	MeanLatency float64
+	// Completed counts finished transactions.
+	Completed uint64
+	// MeanQueue is the time-averaged total number of queued packets.
+	MeanQueue float64
+}
+
+// packet is one word in flight.
+type packet struct {
+	src, dst int
+	last     bool
+}
+
+// fifo is a head-indexed packet queue: pops advance head without
+// reslicing, and the buffer is reused once drained, so steady-state
+// operation does not allocate.
+type fifo struct {
+	buf  []packet
+	head int
+}
+
+func (q *fifo) len() int { return len(q.buf) - q.head }
+
+func (q *fifo) push(p packet) {
+	if q.head > 0 && q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	q.buf = append(q.buf, p)
+}
+
+func (q *fifo) pop() packet {
+	p := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return p
+}
+
+// bufferedProc phases: thinking until `until`, then sending `remaining`
+// packets, then awaiting the last packet's delivery.
+type bufferedProc struct {
+	phase     phase // thinking / waiting(sending) / holding(awaiting)
+	until     int
+	dst       int
+	remaining int
+	started   int
+}
+
+// RunBuffered simulates the buffered packet-switched network.
+func RunBuffered(cfg BufferedConfig) (*BufferedResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Stages
+	nproc := 1 << n
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xda3e39cb94b95bdb))
+
+	procs := make([]bufferedProc, nproc)
+	for i := range procs {
+		procs[i] = bufferedProc{phase: thinking, until: int(rng.ExpFloat64() * cfg.Think)}
+	}
+	// queues[s][l] is the FIFO of packets waiting to cross link l of
+	// stage s.
+	queues := make([][]fifo, n)
+	for s := range queues {
+		queues[s] = make([]fifo, nproc)
+	}
+	linkOf := func(stage, src, dst int) int {
+		low := n - 1 - stage
+		return (dst>>low)<<low | (src & (1<<low - 1))
+	}
+
+	var thinkingCycles, completed, latencySum, queuedSum uint64
+	measured := cfg.Cycles - cfg.WarmupCycles
+
+	for now := 0; now < cfg.Cycles; now++ {
+		counting := now >= cfg.WarmupCycles
+		// Move packets, last stage first so each advances at most one
+		// stage per cycle.
+		for s := n - 1; s >= 0; s-- {
+			for l := 0; l < nproc; l++ {
+				q := &queues[s][l]
+				if q.len() == 0 {
+					continue
+				}
+				pk := q.pop()
+				if s == n-1 {
+					// Delivered to memory.
+					if pk.last {
+						p := &procs[pk.src]
+						p.phase = thinking
+						p.until = now + 1 + int(rng.ExpFloat64()*cfg.Think)
+						if counting {
+							completed++
+							latencySum += uint64(now + 1 - p.started)
+						}
+					}
+					continue
+				}
+				next := linkOf(s+1, pk.src, pk.dst)
+				queues[s+1][next].push(pk)
+			}
+		}
+		// Processors inject and think.
+		for i := range procs {
+			p := &procs[i]
+			switch p.phase {
+			case thinking:
+				if now >= p.until {
+					p.phase = waiting
+					p.dst = rng.IntN(nproc)
+					p.remaining = cfg.Packets
+					p.started = now
+				} else if counting {
+					thinkingCycles++
+				}
+			}
+			if p.phase == waiting {
+				l := linkOf(0, i, p.dst)
+				p.remaining--
+				queues[0][l].push(packet{src: i, dst: p.dst, last: p.remaining == 0})
+				if p.remaining == 0 {
+					p.phase = holding // awaiting delivery
+				}
+			}
+		}
+		if counting {
+			total := 0
+			for s := range queues {
+				for l := range queues[s] {
+					total += queues[s][l].len()
+				}
+			}
+			queuedSum += uint64(total)
+		}
+	}
+
+	res := &BufferedResult{
+		Config:           cfg,
+		ThinkingFraction: float64(thinkingCycles) / float64(uint64(measured)*uint64(nproc)),
+		Completed:        completed,
+		MeanQueue:        float64(queuedSum) / float64(measured),
+	}
+	if completed > 0 {
+		res.MeanLatency = float64(latencySum) / float64(completed)
+	}
+	if math.IsNaN(res.ThinkingFraction) {
+		res.ThinkingFraction = 0
+	}
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"swcc/internal/queueing"
+)
+
+func TestBufferedLightLoadLatency(t *testing.T) {
+	// Nearly idle: a transaction of k packets through n stages takes
+	// n + k cycles (pipeline transit + serialization), the analytical
+	// model's uncontended latency.
+	cfg := BufferedConfig{Stages: 6, Think: 3000, Packets: 4, Cycles: 400_000, WarmupCycles: 10_000, Seed: 2}
+	res, err := RunBuffered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(cfg.Stages + cfg.Packets)
+	if math.Abs(res.MeanLatency-want) > 1.5 {
+		t.Errorf("light-load latency = %.2f, want ~%.0f", res.MeanLatency, want)
+	}
+	wantThink := cfg.Think / (cfg.Think + want)
+	if math.Abs(res.ThinkingFraction-wantThink) > 0.02 {
+		t.Errorf("thinking fraction = %.3f, want ~%.3f", res.ThinkingFraction, wantThink)
+	}
+}
+
+// TestBufferedModelValidation checks the analytical M/M/1-per-stage
+// approximation (queueing.BufferedNetwork) against the cycle-level
+// simulation across loads: latency within 20% or 3 cycles, matching the
+// coarser nature of this model compared to Patel's.
+func TestBufferedModelValidation(t *testing.T) {
+	bn := queueing.BufferedNetwork{Stages: 6}
+	for _, tc := range []struct {
+		think   float64
+		packets int
+	}{
+		{400, 4}, {120, 4}, {60, 4}, {120, 8}, {60, 2},
+	} {
+		sim, err := RunBuffered(BufferedConfig{
+			Stages: 6, Think: tc.think, Packets: tc.packets,
+			Cycles: 250_000, WarmupCycles: 20_000, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := bn.SolveBuffered(tc.think+float64(tc.packets), 1/tc.think, float64(tc.packets))
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := math.Abs(model.Latency - sim.MeanLatency)
+		if diff > 3 && diff/sim.MeanLatency > 0.20 {
+			t.Errorf("think=%g packets=%d: sim latency %.2f vs model %.2f",
+				tc.think, tc.packets, sim.MeanLatency, model.Latency)
+		}
+	}
+}
+
+func TestBufferedNoCircuitTax(t *testing.T) {
+	// The whole point of packet switching: short messages do not pay
+	// the 2n circuit cost. At equal loads, a 1-packet transaction's
+	// latency must be near n+1, far below the circuit model's 1+2n
+	// occupancy equivalent.
+	cfg := BufferedConfig{Stages: 8, Think: 200, Packets: 1, Cycles: 150_000, WarmupCycles: 10_000, Seed: 3}
+	res, err := RunBuffered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanLatency > 12 {
+		t.Errorf("1-packet latency %.1f, expected near stages+1 = 9", res.MeanLatency)
+	}
+}
+
+func TestBufferedDeterministicAndLoaded(t *testing.T) {
+	cfg := BufferedConfig{Stages: 4, Think: 20, Packets: 6, Cycles: 40_000, Seed: 7}
+	a, err := RunBuffered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBuffered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.MeanLatency != b.MeanLatency {
+		t.Error("not deterministic")
+	}
+	if a.MeanQueue <= 0 {
+		t.Error("loaded run should queue packets")
+	}
+	// Heavier load, higher latency.
+	cfg.Think = 8
+	c, err := RunBuffered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MeanLatency <= a.MeanLatency {
+		t.Errorf("heavier load latency %.1f not above %.1f", c.MeanLatency, a.MeanLatency)
+	}
+}
+
+func TestBufferedErrors(t *testing.T) {
+	bad := []BufferedConfig{
+		{Stages: 0, Think: 1, Packets: 1, Cycles: 10},
+		{Stages: 2, Think: 0, Packets: 1, Cycles: 10},
+		{Stages: 2, Think: 1, Packets: 0, Cycles: 10},
+		{Stages: 2, Think: 1, Packets: 1, Cycles: 0},
+		{Stages: 2, Think: 1, Packets: 1, Cycles: 10, WarmupCycles: 10},
+	}
+	for i, cfg := range bad {
+		if _, err := RunBuffered(cfg); err == nil {
+			t.Errorf("config %d: want error", i)
+		}
+	}
+}

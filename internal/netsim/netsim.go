@@ -1,0 +1,241 @@
+// Package netsim is a cycle-level simulator of an unbuffered,
+// circuit-switched multistage interconnection network (butterfly/Omega
+// topology of 2x2 switches), the network the paper analyzes with Patel's
+// probabilistic model in Section 6.
+//
+// The paper notes: "We are not aware of any validation of this model
+// against multiprocessor traces." This simulator closes that gap for the
+// synthetic-workload case: processors alternate between thinking and
+// holding a circuit to a uniformly random memory module; switch-output
+// conflicts drop all but one contender, and dropped requests retry —
+// exactly the behavior the analytical fixed point approximates. The
+// experiment registry's "patel" entry compares the two.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// ErrBadConfig reports an invalid simulation configuration.
+var ErrBadConfig = errors.New("netsim: invalid config")
+
+// Config describes one network simulation.
+type Config struct {
+	// Stages is the number of switch stages; the machine has
+	// 2^Stages processors and memory modules.
+	Stages int
+	// Think is the mean think time in cycles between a processor's
+	// transactions (the model's c-b = 1/m). Sampled exponentially.
+	Think float64
+	// Hold is the cycles a granted circuit is held per transaction
+	// (the model's t = b, message words plus the 2n path occupancy).
+	Hold int
+	// Cycles is the simulated horizon.
+	Cycles int
+	// WarmupCycles are excluded from statistics.
+	WarmupCycles int
+	// Seed makes the run deterministic.
+	Seed uint64
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Stages < 1 || c.Stages > 12:
+		return fmt.Errorf("%w: stages %d", ErrBadConfig, c.Stages)
+	case c.Think <= 0:
+		return fmt.Errorf("%w: think %g", ErrBadConfig, c.Think)
+	case c.Hold < 1:
+		return fmt.Errorf("%w: hold %d", ErrBadConfig, c.Hold)
+	case c.Cycles < 1:
+		return fmt.Errorf("%w: cycles %d", ErrBadConfig, c.Cycles)
+	case c.WarmupCycles < 0 || c.WarmupCycles >= c.Cycles:
+		return fmt.Errorf("%w: warmup %d of %d cycles", ErrBadConfig, c.WarmupCycles, c.Cycles)
+	}
+	return nil
+}
+
+// Result summarizes a network simulation.
+type Result struct {
+	// Config echoes the run parameters.
+	Config Config
+	// Utilization is the mean fraction of (post-warmup) time
+	// processors spent thinking — directly comparable to the Patel
+	// model's U.
+	Utilization float64
+	// Completed is the number of transactions finished.
+	Completed uint64
+	// Attempts is the number of path-setup attempts (retries
+	// included).
+	Attempts uint64
+	// Acceptance is Completed/Attempts: the per-attempt success
+	// probability, comparable to the model's acceptance.
+	Acceptance float64
+	// MeanWait is the mean cycles a transaction waited before its
+	// circuit was granted.
+	MeanWait float64
+	// UtilizationCI95 is the half-width of a 95% confidence interval
+	// on Utilization, from the method of batch means over 20
+	// post-warmup batches. A wide interval means the run was too
+	// short.
+	UtilizationCI95 float64
+	// Batches is the number of batches the interval used.
+	Batches int
+}
+
+// processor phases.
+type phase uint8
+
+const (
+	thinking phase = iota
+	waiting
+	holding
+)
+
+type proc struct {
+	phase phase
+	// until is the cycle at which the current think/hold phase ends.
+	until int
+	// dest is the target memory module while waiting/holding.
+	dest int
+	// waitedSince is the cycle the current request was first issued.
+	waitedSince int
+}
+
+// Run simulates the network and returns aggregate statistics.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Stages
+	nproc := 1 << n
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15))
+
+	procs := make([]proc, nproc)
+	for i := range procs {
+		procs[i] = proc{phase: thinking, until: int(rng.ExpFloat64() * cfg.Think)}
+	}
+	// linkFree[s][l] is the first cycle link l of stage s is free.
+	linkFree := make([][]int, n)
+	for s := range linkFree {
+		linkFree[s] = make([]int, nproc)
+	}
+	// linkOf returns the butterfly link resource used at stage s
+	// (1-based within the math; 0-based here) by a path src->dst: the
+	// node address keeps dst's top s+1 bits and src's remaining low
+	// bits.
+	linkOf := func(stage, src, dst int) int {
+		low := n - 1 - stage
+		return (dst>>low)<<low | (src & (1<<low - 1))
+	}
+
+	var thinkingCycles, completed, attempts, waitSum uint64
+	order := make([]int, 0, nproc)
+
+	// Batch means for the confidence interval on utilization.
+	const nbatches = 20
+	measuredCycles := cfg.Cycles - cfg.WarmupCycles
+	batchLen := measuredCycles / nbatches
+	batchThinking := make([]uint64, nbatches)
+
+	for now := 0; now < cfg.Cycles; now++ {
+		counting := now >= cfg.WarmupCycles
+		batch := -1
+		if counting && batchLen > 0 {
+			batch = (now - cfg.WarmupCycles) / batchLen
+			if batch >= nbatches {
+				batch = nbatches - 1
+			}
+		}
+		order = order[:0]
+		for i := range procs {
+			p := &procs[i]
+			switch p.phase {
+			case thinking:
+				if now >= p.until {
+					p.phase = waiting
+					p.dest = rng.IntN(nproc)
+					p.waitedSince = now
+				} else if counting {
+					thinkingCycles++
+					if batch >= 0 {
+						batchThinking[batch]++
+					}
+				}
+			case holding:
+				if now >= p.until {
+					p.phase = thinking
+					p.until = now + int(rng.ExpFloat64()*cfg.Think)
+				}
+			}
+			if p.phase == waiting {
+				order = append(order, i)
+			}
+		}
+		// Random arbitration order approximates per-switch random
+		// winner selection.
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for _, i := range order {
+			p := &procs[i]
+			if counting {
+				attempts++
+			}
+			ok := true
+			for s := 0; s < n; s++ {
+				if linkFree[s][linkOf(s, i, p.dest)] > now {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			freeAt := now + cfg.Hold
+			for s := 0; s < n; s++ {
+				linkFree[s][linkOf(s, i, p.dest)] = freeAt
+			}
+			p.phase = holding
+			p.until = freeAt
+			if counting {
+				completed++
+				waitSum += uint64(now - p.waitedSince)
+			}
+		}
+	}
+
+	measured := cfg.Cycles - cfg.WarmupCycles
+	res := &Result{
+		Config:      cfg,
+		Utilization: float64(thinkingCycles) / float64(uint64(measured)*uint64(nproc)),
+		Completed:   completed,
+		Attempts:    attempts,
+	}
+	if attempts > 0 {
+		res.Acceptance = float64(completed) / float64(attempts)
+	}
+	if completed > 0 {
+		res.MeanWait = float64(waitSum) / float64(completed)
+	}
+	if batchLen > 0 {
+		// Batch means with the t(19) 97.5% quantile.
+		denom := float64(uint64(batchLen) * uint64(nproc))
+		var mean float64
+		batchU := make([]float64, nbatches)
+		for i, tc := range batchThinking {
+			batchU[i] = float64(tc) / denom
+			mean += batchU[i]
+		}
+		mean /= nbatches
+		var s2 float64
+		for _, u := range batchU {
+			s2 += (u - mean) * (u - mean)
+		}
+		s2 /= nbatches - 1
+		const t19 = 2.093
+		res.UtilizationCI95 = t19 * math.Sqrt(s2/nbatches)
+		res.Batches = nbatches
+	}
+	return res, nil
+}

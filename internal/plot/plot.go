@@ -1,0 +1,216 @@
+// Package plot renders multi-series line charts as plain text, so every
+// figure of the paper can be regenerated offline with the standard
+// library only. Charts are drawn on a character grid with per-series
+// markers, automatic axis scaling, tick labels, and a legend.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrBadPlot reports an unrenderable chart.
+var ErrBadPlot = errors.New("plot: invalid chart")
+
+// Series is one named line on a chart.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// X and Y are the data points; lengths must match.
+	X, Y []float64
+}
+
+// Chart describes a text chart.
+type Chart struct {
+	// Title is printed above the plot.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Width and Height are the plot-area dimensions in characters
+	// (defaults 64x20).
+	Width, Height int
+	// Series are the lines to draw, each with a distinct marker.
+	Series []Series
+	// YMin / YMax force the y range when both are set (YMax > YMin);
+	// otherwise the range is computed from the data and padded.
+	YMin, YMax float64
+	// ForceYRange enables YMin/YMax.
+	ForceYRange bool
+	// LogX plots x on a log10 scale; every x must be positive.
+	LogX bool
+}
+
+// markers cycles across series.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '~', '&', '$'}
+
+// Render draws the chart to a string.
+func Render(c Chart) (string, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("%w: no series", ErrBadPlot)
+	}
+	if c.Width == 0 {
+		c.Width = 64
+	}
+	if c.Height == 0 {
+		c.Height = 20
+	}
+	if c.Width < 8 || c.Height < 4 {
+		return "", fmt.Errorf("%w: plot area %dx%d too small", ErrBadPlot, c.Width, c.Height)
+	}
+	xval := func(x float64) float64 { return x }
+	if c.LogX {
+		xval = math.Log10
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("%w: series %q has %d x vs %d y", ErrBadPlot, s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) || math.IsInf(s.X[i], 0) || math.IsInf(s.Y[i], 0) {
+				return "", fmt.Errorf("%w: series %q has non-finite point %d", ErrBadPlot, s.Name, i)
+			}
+			if c.LogX && s.X[i] <= 0 {
+				return "", fmt.Errorf("%w: series %q has x[%d] = %g, log scale needs positive x", ErrBadPlot, s.Name, i, s.X[i])
+			}
+			xmin = math.Min(xmin, xval(s.X[i]))
+			xmax = math.Max(xmax, xval(s.X[i]))
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return "", fmt.Errorf("%w: no data points", ErrBadPlot)
+	}
+	if c.ForceYRange {
+		if c.YMax <= c.YMin {
+			return "", fmt.Errorf("%w: forced y range [%g,%g]", ErrBadPlot, c.YMin, c.YMax)
+		}
+		ymin, ymax = c.YMin, c.YMax
+	} else {
+		if ymax == ymin {
+			ymax = ymin + 1
+		}
+		pad := (ymax - ymin) * 0.05
+		ymin -= pad
+		ymax += pad
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", c.Width))
+	}
+	plotX := func(x float64) int {
+		return int(math.Round((xval(x) - xmin) / (xmax - xmin) * float64(c.Width-1)))
+	}
+	plotY := func(y float64) int {
+		// Row 0 is the top.
+		return c.Height - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(c.Height-1)))
+	}
+	clampRow := func(r int) int {
+		if r < 0 {
+			return 0
+		}
+		if r >= c.Height {
+			return c.Height - 1
+		}
+		return r
+	}
+
+	for si, s := range c.Series {
+		mark := markers[si%len(markers)]
+		// Connect consecutive points with interpolated marks, then
+		// stamp the data points themselves.
+		for i := 1; i < len(s.X); i++ {
+			x0, y0 := plotX(s.X[i-1]), plotY(s.Y[i-1])
+			x1, y1 := plotX(s.X[i]), plotY(s.Y[i])
+			steps := maxInt(absInt(x1-x0), absInt(y1-y0))
+			for st := 0; st <= steps; st++ {
+				var fx, fy int
+				if steps == 0 {
+					fx, fy = x0, y0
+				} else {
+					fx = x0 + (x1-x0)*st/steps
+					fy = y0 + (y1-y0)*st/steps
+				}
+				row := clampRow(fy)
+				if grid[row][fx] == ' ' {
+					grid[row][fx] = '.'
+				}
+			}
+		}
+		for i := range s.X {
+			grid[clampRow(plotY(s.Y[i]))][plotX(s.X[i])] = mark
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", c.YLabel)
+	}
+	yticks := map[int]float64{
+		0:            ymax,
+		c.Height / 2: (ymax + ymin) / 2,
+		c.Height - 1: ymin,
+	}
+	for r := 0; r < c.Height; r++ {
+		if v, ok := yticks[r]; ok {
+			fmt.Fprintf(&b, "%9.3g |%s\n", v, string(grid[r]))
+		} else {
+			fmt.Fprintf(&b, "%9s |%s\n", "", string(grid[r]))
+		}
+	}
+	fmt.Fprintf(&b, "%9s +%s\n", "", strings.Repeat("-", c.Width))
+	xlo, xhi := xmin, xmax
+	if c.LogX {
+		xlo, xhi = math.Pow(10, xmin), math.Pow(10, xmax)
+	}
+	left := fmt.Sprintf("%.3g", xlo)
+	right := fmt.Sprintf("%.3g", xhi)
+	gap := c.Width - len(left) - len(right)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%9s  %s%s%s\n", "", left, strings.Repeat(" ", gap), right)
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%9s  %s\n", "", center(c.XLabel, c.Width))
+	}
+	b.WriteString("\n")
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%9s  %c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return b.String(), nil
+}
+
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	pad := (width - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

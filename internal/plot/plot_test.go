@@ -1,0 +1,192 @@
+package plot
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func lineChart() Chart {
+	return Chart{
+		Title:  "t",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+			{Name: "b", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+		},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	out, err := Render(lineChart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"t\n", "y\n", "x", "* a", "+ b", "|", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("missing series markers")
+	}
+}
+
+func TestRenderMarkerPositions(t *testing.T) {
+	// A single flat series at y=5 must put markers on one row only.
+	c := Chart{
+		Width: 20, Height: 5,
+		Series: []Series{{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}}},
+	}
+	out, err := Render(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.Contains(ln, "*") && strings.Contains(ln, "|") {
+			rows++
+		}
+	}
+	if rows != 1 {
+		t.Errorf("flat series spans %d rows, want 1:\n%s", rows, out)
+	}
+}
+
+func TestRenderDefaults(t *testing.T) {
+	c := Chart{Series: lineChart().Series}
+	out, err := Render(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty output")
+	}
+}
+
+func TestRenderForcedYRange(t *testing.T) {
+	c := lineChart()
+	c.ForceYRange = true
+	c.YMin, c.YMax = 0, 10
+	out, err := Render(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "10") {
+		t.Errorf("forced ymax missing from ticks:\n%s", out)
+	}
+	c.YMax = -1
+	if _, err := Render(c); !errors.Is(err, ErrBadPlot) {
+		t.Error("want error for inverted forced range")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	cases := []Chart{
+		{},
+		{Series: []Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}},
+		{Series: []Series{{Name: "nan", X: []float64{math.NaN()}, Y: []float64{1}}}},
+		{Series: []Series{{Name: "inf", X: []float64{1}, Y: []float64{math.Inf(1)}}}},
+		{Width: 2, Height: 2, Series: []Series{{Name: "tiny", X: []float64{1}, Y: []float64{1}}}},
+		{Series: []Series{{Name: "empty"}}},
+	}
+	for i, c := range cases {
+		if _, err := Render(c); !errors.Is(err, ErrBadPlot) {
+			t.Errorf("case %d: want ErrBadPlot, got %v", i, err)
+		}
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "pt", X: []float64{5}, Y: []float64{7}}}}
+	if _, err := Render(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	c := Chart{
+		LogX:  true,
+		Width: 40, Height: 8,
+		Series: []Series{{Name: "d", X: []float64{1, 10, 100}, Y: []float64{1, 2, 3}}},
+	}
+	out, err := Render(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Axis labels must show the real values, not their logs.
+	if !strings.Contains(out, "100") {
+		t.Errorf("log axis label missing 100:\n%s", out)
+	}
+	// On a log scale 1, 10, 100 are equidistant: the middle marker
+	// must sit near the center column.
+	for _, ln := range strings.Split(out, "\n") {
+		if i := strings.Index(ln, "*"); i >= 0 && strings.Count(ln, "*") == 1 {
+			continue
+		}
+	}
+	// Negative x rejected.
+	c.Series[0].X[0] = 0
+	if _, err := Render(c); !errors.Is(err, ErrBadPlot) {
+		t.Error("want error for non-positive x on log scale")
+	}
+}
+
+func TestRenderLogXPositions(t *testing.T) {
+	// Three log-equidistant points must land on evenly spaced columns.
+	c := Chart{
+		LogX:  true,
+		Width: 41, Height: 5,
+		Series: []Series{{Name: "d", X: []float64{1, 10, 100}, Y: []float64{5, 5, 5}}},
+	}
+	out, err := Render(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cols []int
+	for _, ln := range strings.Split(out, "\n") {
+		bar := strings.Index(ln, "|")
+		if bar < 0 {
+			continue
+		}
+		for i := bar + 1; i < len(ln); i++ {
+			if ln[i] == '*' {
+				cols = append(cols, i-bar-1)
+			}
+		}
+	}
+	if len(cols) != 3 {
+		t.Fatalf("found %d markers, want 3:\n%s", len(cols), out)
+	}
+	if cols[1]-cols[0] != cols[2]-cols[1] {
+		t.Errorf("log-equidistant points not evenly spaced: %v", cols)
+	}
+}
+
+func TestRenderManySeriesDistinctMarkers(t *testing.T) {
+	var c Chart
+	for i := 0; i < 12; i++ {
+		c.Series = append(c.Series, Series{
+			Name: strings.Repeat("s", i+1),
+			X:    []float64{0, 1},
+			Y:    []float64{float64(i), float64(i)},
+		})
+	}
+	out, err := Render(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 series with 10 markers: wraps around, but every legend line
+	// must carry a marker.
+	legend := 0
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.Contains(ln, " s") && !strings.Contains(ln, "|") {
+			legend++
+		}
+	}
+	if legend != 12 {
+		t.Errorf("legend lines = %d, want 12", legend)
+	}
+}

@@ -1,0 +1,48 @@
+package queueing
+
+import "fmt"
+
+// Bounds are asymptotic (balanced-job style) bounds on a closed
+// single-server system's throughput, useful both as sanity envelopes for
+// the exact MVA solution and as quick design estimates without running
+// the recursion.
+type Bounds struct {
+	// ThroughputLower and ThroughputUpper bracket X(n).
+	ThroughputLower, ThroughputUpper float64
+	// PowerUpper bounds n*U for the cache model's utilization
+	// U = X (one instruction per customer cycle per processor).
+	PowerUpper float64
+	// Saturation is the asymptotic throughput cap 1/service.
+	Saturation float64
+	// KneePopulation is the machine size n* = (think+service)/service
+	// where the optimistic bound meets the saturation cap — the
+	// classic rule-of-thumb size beyond which adding processors stops
+	// paying.
+	KneePopulation float64
+}
+
+// SingleServerBounds computes throughput bounds for n customers with the
+// given think time and service demand.
+//
+//	upper: X(n) <= min(n/(think+service), 1/service)
+//	lower: X(n) >= n/(think + n*service)
+func SingleServerBounds(think, service float64, n int) (Bounds, error) {
+	if n < 1 {
+		return Bounds{}, fmt.Errorf("%w: customers %d < 1", ErrInvalidInput, n)
+	}
+	if think < 0 || service <= 0 {
+		return Bounds{}, fmt.Errorf("%w: think %g, service %g", ErrInvalidInput, think, service)
+	}
+	nf := float64(n)
+	upper := nf / (think + service)
+	if cap := 1 / service; cap < upper {
+		upper = cap
+	}
+	return Bounds{
+		ThroughputLower: nf / (think + nf*service),
+		ThroughputUpper: upper,
+		PowerUpper:      upper * (think + service),
+		Saturation:      1 / service,
+		KneePopulation:  (think + service) / service,
+	}, nil
+}

@@ -1,0 +1,83 @@
+package queueing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundsBracketMVA(t *testing.T) {
+	f := func(thinkRaw, serviceRaw uint16, nRaw uint8) bool {
+		think := float64(thinkRaw%1000) / 10
+		service := float64(serviceRaw%200)/10 + 0.1
+		n := int(nRaw%30) + 1
+		mva, err := SingleServerMVA(think, service, n)
+		if err != nil {
+			return false
+		}
+		b, err := SingleServerBounds(think, service, n)
+		if err != nil {
+			return false
+		}
+		x := mva[n-1].Throughput
+		return x >= b.ThroughputLower-1e-9 && x <= b.ThroughputUpper+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundsTightAtExtremes(t *testing.T) {
+	// n = 1: both bounds coincide with the exact value.
+	b, err := SingleServerBounds(20, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 1.0 / 25.0
+	if !almostEqual(b.ThroughputLower, exact, 1e-12) || !almostEqual(b.ThroughputUpper, exact, 1e-12) {
+		t.Errorf("n=1 bounds [%g, %g] should equal %g", b.ThroughputLower, b.ThroughputUpper, exact)
+	}
+	// Huge n: upper bound is the saturation cap and the exact value
+	// converges to it.
+	b, err = SingleServerBounds(20, 5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ThroughputUpper != 0.2 {
+		t.Errorf("saturated upper bound = %g, want 0.2", b.ThroughputUpper)
+	}
+	mva, err := SingleServerMVA(20, 5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mva[999].Throughput < 0.199 {
+		t.Errorf("exact throughput %g far from cap", mva[999].Throughput)
+	}
+}
+
+func TestKneePopulation(t *testing.T) {
+	b, err := SingleServerBounds(20, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.KneePopulation != 5 {
+		t.Errorf("knee = %g, want (20+5)/5 = 5", b.KneePopulation)
+	}
+	// The knee matches the paper's saturation intuition: below it the
+	// optimistic linear bound applies, above it the cap.
+	below, _ := SingleServerBounds(20, 5, 4)
+	if below.ThroughputUpper >= b.Saturation {
+		t.Error("below the knee the linear bound should bind")
+	}
+}
+
+func TestBoundsErrors(t *testing.T) {
+	if _, err := SingleServerBounds(1, 1, 0); err == nil {
+		t.Error("want error for zero customers")
+	}
+	if _, err := SingleServerBounds(-1, 1, 2); err == nil {
+		t.Error("want error for negative think")
+	}
+	if _, err := SingleServerBounds(1, 0, 2); err == nil {
+		t.Error("want error for zero service")
+	}
+}

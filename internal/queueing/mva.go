@@ -1,0 +1,155 @@
+// Package queueing provides exact solvers for the closed queueing models
+// used by the analytical cache-coherence model: Mean Value Analysis (MVA)
+// for closed product-form networks, and the Patel fixed-point model for
+// unbuffered circuit-switched multistage interconnection networks.
+//
+// The bus contention model of Owicki & Agarwal is a machine-repairman
+// system: N processors (customers) alternate between a think phase of
+// Z = c-b cycles and a bus transaction of b cycles at a single FCFS
+// server with exponentially distributed service. MVA solves this exactly.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidInput reports a queueing model invoked with parameters outside
+// its domain (negative demands, non-positive populations, and so on).
+var ErrInvalidInput = errors.New("queueing: invalid input")
+
+// SingleServerResult holds the solution of the single-server closed
+// queueing network for one population size.
+type SingleServerResult struct {
+	// Customers is the population N the metrics refer to.
+	Customers int
+	// Residence is the mean time a transaction spends at the server,
+	// queueing plus service (R in MVA terms), in cycles.
+	Residence float64
+	// Wait is the mean queueing delay excluding service, in cycles.
+	Wait float64
+	// Throughput is the system throughput in transactions per cycle.
+	Throughput float64
+	// QueueLength is the mean number of customers at the server
+	// (queued or in service).
+	QueueLength float64
+	// Utilization is the fraction of time the server is busy.
+	Utilization float64
+}
+
+// SingleServerMVA solves a closed queueing network with one queueing
+// station of mean service demand `service` and a delay (think) station of
+// mean `think`, for populations 1..customers. It returns one result per
+// population, so callers that sweep processor counts get the whole curve
+// from a single O(N) recursion.
+//
+// This is the bus contention model: think = c-b, service = b.
+func SingleServerMVA(think, service float64, customers int) ([]SingleServerResult, error) {
+	if customers < 1 {
+		return nil, fmt.Errorf("%w: customers %d < 1", ErrInvalidInput, customers)
+	}
+	if think < 0 || service < 0 {
+		return nil, fmt.Errorf("%w: think %g or service %g negative", ErrInvalidInput, think, service)
+	}
+	results := make([]SingleServerResult, customers)
+	q := 0.0 // queue length with n-1 customers
+	for n := 1; n <= customers; n++ {
+		r := service * (1 + q)
+		var x float64
+		if think+r > 0 {
+			x = float64(n) / (think + r)
+		}
+		q = x * r
+		results[n-1] = SingleServerResult{
+			Customers:   n,
+			Residence:   r,
+			Wait:        r - service,
+			Throughput:  x,
+			QueueLength: q,
+			Utilization: x * service,
+		}
+	}
+	return results, nil
+}
+
+// Station describes one queueing or delay station in a closed network.
+type Station struct {
+	// Name identifies the station in results.
+	Name string
+	// Demand is the total mean service demand per customer cycle,
+	// i.e. visit ratio times mean service time.
+	Demand float64
+	// Delay marks a pure delay (infinite-server) station: customers
+	// never queue, they just spend Demand time there.
+	Delay bool
+}
+
+// NetworkResult holds the MVA solution of a multi-station closed network
+// at one population.
+type NetworkResult struct {
+	Customers  int
+	Throughput float64
+	// CycleTime is the mean time for one customer to traverse all
+	// stations once (N / Throughput).
+	CycleTime float64
+	// Residence[i] is the residence time at station i.
+	Residence []float64
+	// QueueLength[i] is the mean queue length at station i.
+	QueueLength []float64
+	// Utilization[i] is Demand*Throughput for queueing stations and
+	// the mean population for delay stations.
+	Utilization []float64
+}
+
+// ClosedMVA solves a closed product-form network with the given stations
+// for populations 1..customers, returning one result per population.
+func ClosedMVA(stations []Station, customers int) ([]NetworkResult, error) {
+	if customers < 1 {
+		return nil, fmt.Errorf("%w: customers %d < 1", ErrInvalidInput, customers)
+	}
+	if len(stations) == 0 {
+		return nil, fmt.Errorf("%w: no stations", ErrInvalidInput)
+	}
+	for _, s := range stations {
+		if s.Demand < 0 {
+			return nil, fmt.Errorf("%w: station %q demand %g negative", ErrInvalidInput, s.Name, s.Demand)
+		}
+	}
+	k := len(stations)
+	q := make([]float64, k) // queue lengths with n-1 customers
+	results := make([]NetworkResult, customers)
+	for n := 1; n <= customers; n++ {
+		res := NetworkResult{
+			Customers:   n,
+			Residence:   make([]float64, k),
+			QueueLength: make([]float64, k),
+			Utilization: make([]float64, k),
+		}
+		total := 0.0
+		for i, s := range stations {
+			if s.Delay {
+				res.Residence[i] = s.Demand
+			} else {
+				res.Residence[i] = s.Demand * (1 + q[i])
+			}
+			total += res.Residence[i]
+		}
+		var x float64
+		if total > 0 {
+			x = float64(n) / total
+		}
+		res.Throughput = x
+		res.CycleTime = total
+		for i, s := range stations {
+			q[i] = x * res.Residence[i]
+			res.QueueLength[i] = q[i]
+			if s.Delay {
+				res.Utilization[i] = q[i]
+			} else {
+				res.Utilization[i] = x * s.Demand
+			}
+		}
+		results[n-1] = res
+	}
+	return results, nil
+}

@@ -1,0 +1,232 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestSingleServerMVAOneCustomer(t *testing.T) {
+	res, err := SingleServerMVA(9, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.Wait != 0 {
+		t.Errorf("one customer should never wait, got %g", r.Wait)
+	}
+	if !almostEqual(r.Residence, 3, 1e-12) {
+		t.Errorf("residence = %g, want 3", r.Residence)
+	}
+	if !almostEqual(r.Throughput, 1.0/12.0, 1e-12) {
+		t.Errorf("throughput = %g, want %g", r.Throughput, 1.0/12.0)
+	}
+	if !almostEqual(r.Utilization, 3.0/12.0, 1e-12) {
+		t.Errorf("utilization = %g, want %g", r.Utilization, 0.25)
+	}
+}
+
+func TestSingleServerMVAZeroService(t *testing.T) {
+	res, err := SingleServerMVA(5, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Wait != 0 || r.Residence != 0 {
+			t.Errorf("n=%d: zero service must give zero wait/residence, got %g/%g", r.Customers, r.Wait, r.Residence)
+		}
+		want := float64(r.Customers) / 5
+		if !almostEqual(r.Throughput, want, 1e-12) {
+			t.Errorf("n=%d: throughput = %g, want %g", r.Customers, r.Throughput, want)
+		}
+	}
+}
+
+func TestSingleServerMVAZeroThink(t *testing.T) {
+	// With no think time and one server, the server saturates: with n
+	// customers throughput is exactly 1/service for any n >= 1.
+	res, err := SingleServerMVA(0, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if !almostEqual(r.Throughput, 0.25, 1e-12) {
+			t.Errorf("n=%d: throughput = %g, want 0.25", r.Customers, r.Throughput)
+		}
+		if !almostEqual(r.Utilization, 1, 1e-12) {
+			t.Errorf("n=%d: utilization = %g, want 1", r.Customers, r.Utilization)
+		}
+	}
+}
+
+func TestSingleServerMVAAgainstClosedForm(t *testing.T) {
+	// The machine-repairman model has a closed-form solution via the
+	// Erlang-like recursion on state probabilities. Compare MVA's
+	// utilization against a direct birth-death solution.
+	think, service := 20.0, 5.0
+	const n = 12
+	res, err := SingleServerMVA(think, service, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Birth-death chain: state k = customers at server. Arrival rate
+	// (n-k)/think, service rate 1/service. Solve stationary
+	// distribution.
+	p := make([]float64, n+1)
+	p[0] = 1
+	for k := 1; k <= n; k++ {
+		p[k] = p[k-1] * (float64(n-k+1) / think) * service
+	}
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	busy := (sum - p[0]) / sum
+	x := busy / service
+	if !almostEqual(res[n-1].Throughput, x, 1e-9) {
+		t.Errorf("MVA throughput %g != birth-death %g", res[n-1].Throughput, x)
+	}
+	if !almostEqual(res[n-1].Utilization, busy, 1e-9) {
+		t.Errorf("MVA utilization %g != birth-death %g", res[n-1].Utilization, busy)
+	}
+}
+
+func TestSingleServerMVAMonotonicity(t *testing.T) {
+	// Waiting time grows with population; throughput grows but is
+	// capped by 1/service.
+	res, err := SingleServerMVA(10, 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Wait < res[i-1].Wait-1e-12 {
+			t.Errorf("wait decreased from n=%d to n=%d: %g -> %g", i, i+1, res[i-1].Wait, res[i].Wait)
+		}
+		if res[i].Throughput < res[i-1].Throughput-1e-12 {
+			t.Errorf("throughput decreased at n=%d", i+1)
+		}
+		if res[i].Throughput > 0.5+1e-12 {
+			t.Errorf("throughput exceeds service capacity at n=%d: %g", i+1, res[i].Throughput)
+		}
+	}
+}
+
+func TestSingleServerMVAErrors(t *testing.T) {
+	if _, err := SingleServerMVA(1, 1, 0); err == nil {
+		t.Error("want error for zero customers")
+	}
+	if _, err := SingleServerMVA(-1, 1, 2); err == nil {
+		t.Error("want error for negative think")
+	}
+	if _, err := SingleServerMVA(1, -1, 2); err == nil {
+		t.Error("want error for negative service")
+	}
+}
+
+func TestSingleServerMVAProperties(t *testing.T) {
+	// Property: for any sane inputs, Little's law holds at the server
+	// (Q = X * R) and total population is conserved
+	// (X*think + Q = N).
+	f := func(thinkRaw, serviceRaw uint16, nRaw uint8) bool {
+		think := float64(thinkRaw%1000) / 10
+		service := float64(serviceRaw%200)/10 + 0.1
+		n := int(nRaw%20) + 1
+		res, err := SingleServerMVA(think, service, n)
+		if err != nil {
+			return false
+		}
+		r := res[n-1]
+		if !almostEqual(r.QueueLength, r.Throughput*r.Residence, 1e-9) {
+			return false
+		}
+		pop := r.Throughput*think + r.QueueLength
+		return almostEqual(pop, float64(n), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosedMVAMatchesSingleServer(t *testing.T) {
+	think, service := 12.0, 4.0
+	single, err := SingleServerMVA(think, service, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := ClosedMVA([]Station{
+		{Name: "cpu", Demand: think, Delay: true},
+		{Name: "bus", Demand: service},
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range single {
+		if !almostEqual(single[i].Throughput, multi[i].Throughput, 1e-12) {
+			t.Errorf("n=%d: single %g != multi %g", i+1, single[i].Throughput, multi[i].Throughput)
+		}
+		if !almostEqual(single[i].Residence, multi[i].Residence[1], 1e-12) {
+			t.Errorf("n=%d: residence mismatch", i+1)
+		}
+	}
+}
+
+func TestClosedMVATwoQueues(t *testing.T) {
+	// Balanced two-queue network: by symmetry both queues see equal
+	// load; asymptotic throughput is 1/maxDemand.
+	res, err := ClosedMVA([]Station{
+		{Name: "a", Demand: 3},
+		{Name: "b", Demand: 3},
+	}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res[len(res)-1]
+	// Balanced closed network closed form: X(N) = N/((N+K-1)*D).
+	want := 50.0 / (51.0 * 3.0)
+	if !almostEqual(last.Throughput, want, 1e-9) {
+		t.Errorf("throughput = %g, want %g (balanced closed form)", last.Throughput, want)
+	}
+	if !almostEqual(last.QueueLength[0], last.QueueLength[1], 1e-9) {
+		t.Errorf("symmetric queues differ: %g vs %g", last.QueueLength[0], last.QueueLength[1])
+	}
+}
+
+func TestClosedMVAErrors(t *testing.T) {
+	if _, err := ClosedMVA(nil, 3); err == nil {
+		t.Error("want error for no stations")
+	}
+	if _, err := ClosedMVA([]Station{{Demand: -1}}, 3); err == nil {
+		t.Error("want error for negative demand")
+	}
+	if _, err := ClosedMVA([]Station{{Demand: 1}}, 0); err == nil {
+		t.Error("want error for zero customers")
+	}
+}
+
+func TestClosedMVAPopulationConservation(t *testing.T) {
+	f := func(d1, d2, d3 uint16, nRaw uint8) bool {
+		stations := []Station{
+			{Name: "think", Demand: float64(d1%500) / 10, Delay: true},
+			{Name: "q1", Demand: float64(d2%100)/10 + 0.01},
+			{Name: "q2", Demand: float64(d3%100) / 10},
+		}
+		n := int(nRaw%16) + 1
+		res, err := ClosedMVA(stations, n)
+		if err != nil {
+			return false
+		}
+		r := res[n-1]
+		pop := 0.0
+		for _, q := range r.QueueLength {
+			pop += q
+		}
+		return almostEqual(pop, float64(n), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

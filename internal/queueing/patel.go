@@ -1,0 +1,239 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// PatelNetwork models an unbuffered, circuit-switched multistage
+// interconnection network (Banyan / Omega / Delta) built from SwitchSize x
+// SwitchSize crossbars, following Patel's analysis under the unit-request
+// approximation. A network with Stages stages connects
+// SwitchSize^Stages processors to as many memory modules.
+type PatelNetwork struct {
+	// Stages is the number of switch stages (n); the machine has
+	// SwitchSize^Stages processors.
+	Stages int
+	// SwitchSize is the crossbar dimension; the paper uses 2x2
+	// switches.
+	SwitchSize int
+}
+
+// NewPatelNetwork returns a network of 2x2 crossbars with the given number
+// of stages.
+func NewPatelNetwork(stages int) PatelNetwork {
+	return PatelNetwork{Stages: stages, SwitchSize: 2}
+}
+
+// StagesFor returns the number of 2x2 switch stages needed for nproc
+// processors (ceil(log2 nproc)), minimum 1.
+func StagesFor(nproc int) int {
+	if nproc <= 2 {
+		return 1
+	}
+	n := 0
+	for p := 1; p < nproc; p *= 2 {
+		n++
+	}
+	return n
+}
+
+// Processors returns the number of processors the network connects.
+func (pn PatelNetwork) Processors() int {
+	p := 1
+	for i := 0; i < pn.Stages; i++ {
+		p *= pn.switchSize()
+	}
+	return p
+}
+
+func (pn PatelNetwork) switchSize() int {
+	if pn.SwitchSize <= 0 {
+		return 2
+	}
+	return pn.SwitchSize
+}
+
+// Forward propagates a per-port request probability m0 through the switch
+// stages and returns the output-port request probability after the last
+// stage. Each k x k switch output sees k inputs each requesting it with
+// probability m/k; the output is busy unless all k decline:
+//
+//	m' = 1 - (1 - m/k)^k
+func (pn PatelNetwork) Forward(m0 float64) float64 {
+	k := float64(pn.switchSize())
+	m := m0
+	for i := 0; i < pn.Stages; i++ {
+		m = 1 - math.Pow(1-m/k, k)
+	}
+	return m
+}
+
+// PatelResult is the fixed-point solution of the Patel model for one
+// workload point.
+type PatelResult struct {
+	// Utilization is the fraction of time a processor is doing
+	// (possibly overhead) CPU work rather than blocked on the network:
+	// U = m_n / (m*t).
+	Utilization float64
+	// InputRate is m_0 = 1-U, the probability a request (new or
+	// retried) occupies a network input port in a cycle.
+	InputRate float64
+	// OutputRate is m_n, the per-port accepted unit-request throughput.
+	OutputRate float64
+	// Acceptance is OutputRate/InputRate, the probability an offered
+	// unit request survives all stages in one attempt.
+	Acceptance float64
+	// Iterations is the number of bisection steps used.
+	Iterations int
+}
+
+// SolvePatel computes the self-consistent processor utilization for a
+// workload that generates transactions at rate `rate` (transactions per
+// CPU cycle, m = 1/(c-b)) of mean size `size` (network cycles per
+// transaction, t = b) on the given network.
+//
+// The fixed point solves
+//
+//	U = m_n / (m*t),  m_0 = 1 - U,  m_{i+1} = 1 - (1 - m_i/k)^k.
+//
+// Define g(U) = Forward(1-U)/(m*t) - U. g(0) = Forward(1)/(m*t) >= 0 and
+// g(1) = -1 < 0, and g is strictly decreasing in U (Forward is increasing
+// in its argument), so the root is unique; we find it by bisection.
+//
+// When m*t == 0 the workload never touches the network and U = 1.
+func (pn PatelNetwork) SolvePatel(rate, size float64) (PatelResult, error) {
+	if pn.Stages < 1 {
+		return PatelResult{}, fmt.Errorf("%w: stages %d < 1", ErrInvalidInput, pn.Stages)
+	}
+	if rate < 0 || size < 0 {
+		return PatelResult{}, fmt.Errorf("%w: rate %g or size %g negative", ErrInvalidInput, rate, size)
+	}
+	mt := rate * size
+	if mt == 0 {
+		return PatelResult{Utilization: 1, Acceptance: 1}, nil
+	}
+	lo, hi := 0.0, 1.0
+	g := func(u float64) float64 { return pn.Forward(1-u)/mt - u }
+	// The unconstrained fixed point can exceed 1 when the workload is
+	// light (mt small): then the processor is never network-limited.
+	if g(1) >= 0 {
+		return PatelResult{Utilization: 1, InputRate: 0, OutputRate: mt, Acceptance: 1}, nil
+	}
+	var u float64
+	iters := 0
+	for i := 0; i < 200; i++ {
+		iters++
+		u = (lo + hi) / 2
+		if hi-lo < 1e-14 {
+			break
+		}
+		if g(u) > 0 {
+			lo = u
+		} else {
+			hi = u
+		}
+	}
+	m0 := 1 - u
+	mn := pn.Forward(m0)
+	acc := 1.0
+	if m0 > 0 {
+		acc = mn / m0
+	}
+	return PatelResult{
+		Utilization: u,
+		InputRate:   m0,
+		OutputRate:  mn,
+		Acceptance:  acc,
+		Iterations:  iters,
+	}, nil
+}
+
+// BufferedNetwork extends the model to a buffered packet-switched
+// multistage network (the paper's Section 7 future-work variant). Each
+// stage is approximated as an M/M/1 queue whose arrival rate is the
+// per-port packet rate and whose service time is one switch cycle; a
+// transaction of size t is t back-to-back packets plus the pipeline
+// transit. This deliberately removes the circuit set-up cost 2n per
+// transaction that dominates the circuit-switched model, which is why
+// packet switching favors high-rate/short-message workloads (No-Cache).
+type BufferedNetwork struct {
+	// Stages is the number of switch stages.
+	Stages int
+}
+
+// BufferedResult is the solution of the buffered packet-switched model.
+type BufferedResult struct {
+	// Utilization is the bus-comparable processor utilization
+	// 1/(cpu + wait).
+	Utilization float64
+	// Latency is the mean one-way network latency per transaction in
+	// cycles (transit plus queueing plus serialization).
+	Latency float64
+	// PortLoad is the per-port packet rate (must be < 1 for
+	// stability).
+	PortLoad float64
+	// Saturated reports that the offered load exceeded port capacity;
+	// Utilization is then the saturation bound.
+	Saturated bool
+}
+
+// SolveBuffered computes processor utilization for a packet-switched
+// network. cpu is the total CPU cycles per instruction (c), rate the
+// transaction rate per non-network cycle (1/(c-b)), and size the packets
+// per transaction (message words, without the 2n circuit overhead).
+//
+// The solution iterates: given waiting w, instructions take c+w cycles,
+// so the per-port packet rate is size/(c-b+w+size)... more precisely the
+// processor cycle is think (c-b) + latency; the port carries size packets
+// per cycle of that period. Queueing per stage is rho/(1-rho) with
+// rho = port load.
+func (bn BufferedNetwork) SolveBuffered(cpu, rate, size float64) (BufferedResult, error) {
+	if bn.Stages < 1 {
+		return BufferedResult{}, fmt.Errorf("%w: stages %d < 1", ErrInvalidInput, bn.Stages)
+	}
+	if cpu <= 0 || rate < 0 || size < 0 {
+		return BufferedResult{}, fmt.Errorf("%w: cpu %g, rate %g, size %g", ErrInvalidInput, cpu, rate, size)
+	}
+	if rate == 0 || size == 0 {
+		return BufferedResult{Utilization: 1 / cpu}, nil
+	}
+	think := 1 / rate // c - b in cycles
+	n := float64(bn.Stages)
+	// Fixed-point on the cycle period T = think + latency.
+	// Port load rho = size / T. Latency = n (transit) + size
+	// (serialization) + n*rho/(1-rho) (queueing).
+	t := think + n + size
+	var latency, rho float64
+	saturated := false
+	for i := 0; i < 1000; i++ {
+		rho = size / t
+		if rho >= 0.999 {
+			rho = 0.999
+			saturated = true
+		}
+		latency = n + size + n*rho/(1-rho)
+		next := think + latency
+		if math.Abs(next-t) < 1e-12 {
+			t = next
+			break
+		}
+		t = 0.5*t + 0.5*next // damped to guarantee convergence
+	}
+	// One instruction takes think + latency total cycles, of which 1
+	// was useful; align with the bus metric U = 1/(c+w) by noting
+	// think = c-b and size here plays b's serialization role.
+	u := 1 / t
+	if saturated {
+		// Throughput bound: one port delivers 1 packet/cycle, so at
+		// most 1/size transactions per cycle, i.e. utilization
+		// 1/size transactions * 1 instruction each.
+		u = math.Min(u, 1/size)
+	}
+	return BufferedResult{
+		Utilization: u,
+		Latency:     latency,
+		PortLoad:    rho,
+		Saturated:   saturated,
+	}, nil
+}

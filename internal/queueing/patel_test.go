@@ -1,0 +1,263 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStagesFor(t *testing.T) {
+	cases := []struct{ nproc, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{16, 4}, {64, 6}, {256, 8}, {1024, 10},
+	}
+	for _, c := range cases {
+		if got := StagesFor(c.nproc); got != c.want {
+			t.Errorf("StagesFor(%d) = %d, want %d", c.nproc, got, c.want)
+		}
+	}
+}
+
+func TestPatelProcessors(t *testing.T) {
+	if got := NewPatelNetwork(8).Processors(); got != 256 {
+		t.Errorf("8-stage network has %d processors, want 256", got)
+	}
+	pn := PatelNetwork{Stages: 3, SwitchSize: 4}
+	if got := pn.Processors(); got != 64 {
+		t.Errorf("3-stage 4x4 network has %d processors, want 64", got)
+	}
+}
+
+func TestForwardSingleStage(t *testing.T) {
+	pn := NewPatelNetwork(1)
+	// m' = 1 - (1 - m/2)^2 = m - m^2/4
+	for _, m := range []float64{0, 0.1, 0.5, 1} {
+		want := m - m*m/4
+		if got := pn.Forward(m); !almostEqual(got, want, 1e-12) {
+			t.Errorf("Forward(%g) = %g, want %g", m, got, want)
+		}
+	}
+}
+
+func TestForwardMonotoneAndContracting(t *testing.T) {
+	pn := NewPatelNetwork(6)
+	prev := -1.0
+	for m := 0.0; m <= 1.0; m += 0.01 {
+		out := pn.Forward(m)
+		if out < prev {
+			t.Fatalf("Forward not monotone at m=%g", m)
+		}
+		if out > m+1e-15 {
+			t.Fatalf("Forward(%g) = %g exceeds input: blocking can only drop requests", m, out)
+		}
+		prev = out
+	}
+}
+
+func TestSolvePatelLightLoad(t *testing.T) {
+	pn := NewPatelNetwork(8)
+	// Tiny load: utilization must approach (c-b)/c behaviorally, here
+	// represented as U -> 1/(1+mt) when blocking is negligible.
+	res, err := pn.SolvePatel(0.0001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := 0.0001 * 2
+	want := 1 / (1 + mt)
+	if !almostEqual(res.Utilization, want, 1e-3) {
+		t.Errorf("light-load U = %g, want ~%g", res.Utilization, want)
+	}
+}
+
+func TestSolvePatelZeroLoad(t *testing.T) {
+	pn := NewPatelNetwork(4)
+	res, err := pn.SolvePatel(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization != 1 {
+		t.Errorf("zero load U = %g, want 1", res.Utilization)
+	}
+}
+
+func TestSolvePatelFixedPointConsistency(t *testing.T) {
+	pn := NewPatelNetwork(8)
+	for _, tc := range []struct{ rate, size float64 }{
+		{0.01, 20}, {0.03, 20}, {0.05, 12}, {0.1, 4}, {0.2, 17},
+	} {
+		res, err := pn.SolvePatel(tc.rate, tc.size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := res.Utilization
+		if u < 1 {
+			// Check U = Forward(1-U)/(m t) holds at the solution.
+			rhs := pn.Forward(1-u) / (tc.rate * tc.size)
+			if !almostEqual(u, rhs, 1e-6) {
+				t.Errorf("rate=%g size=%g: U=%g but Forward(1-U)/mt=%g", tc.rate, tc.size, u, rhs)
+			}
+		}
+		if res.Acceptance < 0 || res.Acceptance > 1+1e-9 {
+			t.Errorf("acceptance %g out of range", res.Acceptance)
+		}
+	}
+}
+
+func TestSolvePatelPaperAnchor(t *testing.T) {
+	// Section 6.3: "for a cache-miss rate as low as 3% in the
+	// 256-processor system and a message size of 4 words
+	// (corresponding to a unit-time service request rate of
+	// 3% x (16+4) = 60%), the processor utilization is halved."
+	pn := NewPatelNetwork(8)
+	res, err := pn.SolvePatel(0.03, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization > 0.62 || res.Utilization < 0.35 {
+		t.Errorf("paper anchor: U = %g, want roughly halved (~0.4-0.6)", res.Utilization)
+	}
+}
+
+func TestSolvePatelMonotoneInLoad(t *testing.T) {
+	pn := NewPatelNetwork(8)
+	prev := 2.0
+	for rate := 0.005; rate < 0.5; rate += 0.005 {
+		res, err := pn.SolvePatel(rate, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Utilization > prev+1e-9 {
+			t.Fatalf("utilization increased with load at rate=%g", rate)
+		}
+		prev = res.Utilization
+	}
+}
+
+func TestSolvePatelErrors(t *testing.T) {
+	if _, err := (PatelNetwork{Stages: 0, SwitchSize: 2}).SolvePatel(0.1, 1); err == nil {
+		t.Error("want error for zero stages")
+	}
+	if _, err := NewPatelNetwork(2).SolvePatel(-1, 1); err == nil {
+		t.Error("want error for negative rate")
+	}
+	if _, err := NewPatelNetwork(2).SolvePatel(1, -1); err == nil {
+		t.Error("want error for negative size")
+	}
+}
+
+func TestSolvePatelProperties(t *testing.T) {
+	f := func(stagesRaw, rateRaw, sizeRaw uint8) bool {
+		stages := int(stagesRaw%10) + 1
+		rate := float64(rateRaw) / 512
+		size := float64(sizeRaw%40) + 1
+		res, err := NewPatelNetwork(stages).SolvePatel(rate, size)
+		if err != nil {
+			return false
+		}
+		return res.Utilization >= 0 && res.Utilization <= 1 &&
+			res.InputRate >= 0 && res.InputRate <= 1 &&
+			res.OutputRate <= res.InputRate+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveBufferedLightLoad(t *testing.T) {
+	bn := BufferedNetwork{Stages: 8}
+	res, err := bn.SolveBuffered(100, 1.0/96, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// think = 96, transit+serialization = 12, low queueing: cycle
+	// ~ slightly above 108 cycles.
+	if res.Utilization > 1.0/107 || res.Utilization < 1.0/112 {
+		t.Errorf("light-load buffered U = %g, want ~1/108", res.Utilization)
+	}
+	if res.Saturated {
+		t.Error("light load must not saturate")
+	}
+}
+
+func TestSolveBufferedZeroLoad(t *testing.T) {
+	bn := BufferedNetwork{Stages: 4}
+	res, err := bn.SolveBuffered(5, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Utilization, 0.2, 1e-12) {
+		t.Errorf("zero-load U = %g, want 0.2", res.Utilization)
+	}
+}
+
+func TestSolveBufferedVsCircuitShortMessages(t *testing.T) {
+	// The paper's future-work claim: packet switching favors
+	// No-Cache-style traffic (many short messages) because it removes
+	// the per-transaction circuit set-up cost. For 1-word messages at
+	// a moderate rate, buffered latency per transaction must be well
+	// below the circuit 2n+1 cost regime, i.e. buffered utilization
+	// should beat the circuit-switched model's.
+	stages := 8
+	rate, size := 0.05, 1.0
+	circ, err := NewPatelNetwork(stages).SolvePatel(rate, size+2*float64(stages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map circuit U to bus-comparable utilization: U/(c-b) with
+	// c-b = 1/rate.
+	circUtil := circ.Utilization * rate
+	buf, err := BufferedNetwork{Stages: stages}.SolveBuffered(1/rate+size, rate, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Utilization <= circUtil {
+		t.Errorf("buffered (%g) should beat circuit-switched (%g) for short messages", buf.Utilization, circUtil)
+	}
+}
+
+func TestSolveBufferedSelfLimiting(t *testing.T) {
+	// A closed system cannot offer more than port capacity: under a
+	// huge nominal rate the cycle time stretches so that the port load
+	// stays below 1 and utilization stays below the 1/size throughput
+	// bound.
+	bn := BufferedNetwork{Stages: 4}
+	res, err := bn.SolveBuffered(10, 0.9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PortLoad >= 1 {
+		t.Errorf("closed system port load %g must stay below 1", res.PortLoad)
+	}
+	if res.Utilization > 1.0/8+1e-9 {
+		t.Errorf("utilization %g exceeds port throughput bound %g", res.Utilization, 1.0/8)
+	}
+}
+
+func TestSolveBufferedErrors(t *testing.T) {
+	if _, err := (BufferedNetwork{Stages: 0}).SolveBuffered(1, 1, 1); err == nil {
+		t.Error("want error for zero stages")
+	}
+	if _, err := (BufferedNetwork{Stages: 2}).SolveBuffered(0, 1, 1); err == nil {
+		t.Error("want error for zero cpu")
+	}
+	if _, err := (BufferedNetwork{Stages: 2}).SolveBuffered(1, -1, 1); err == nil {
+		t.Error("want error for negative rate")
+	}
+}
+
+func TestSolveBufferedFinite(t *testing.T) {
+	f := func(stagesRaw, rateRaw, sizeRaw uint8) bool {
+		stages := int(stagesRaw%10) + 1
+		rate := float64(rateRaw)/300 + 0.001
+		size := float64(sizeRaw % 32)
+		res, err := BufferedNetwork{Stages: stages}.SolveBuffered(1/rate+size+1, rate, size)
+		if err != nil {
+			return false
+		}
+		return !math.IsNaN(res.Utilization) && !math.IsInf(res.Utilization, 0) &&
+			res.Utilization > 0 && res.Utilization <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

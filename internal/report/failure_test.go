@@ -1,0 +1,44 @@
+package report
+
+import (
+	"errors"
+	"testing"
+)
+
+// failWriter fails every write after `allow` bytes have been accepted.
+type failWriter struct {
+	allow int
+}
+
+var errInjected = errors.New("injected write failure")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.allow <= 0 {
+		return 0, errInjected
+	}
+	n := len(p)
+	if n > w.allow {
+		n = w.allow
+		w.allow = 0
+		return n, errInjected
+	}
+	w.allow -= n
+	return n, nil
+}
+
+func TestWriteTextPropagatesWriterErrors(t *testing.T) {
+	tab := sampleTable()
+	if err := tab.WriteText(&failWriter{}); err == nil {
+		t.Error("want error from failing writer")
+	}
+	if err := tab.WriteText(&failWriter{allow: 10}); err == nil {
+		t.Error("want error from mid-stream failure")
+	}
+}
+
+func TestWriteCSVPropagatesWriterErrors(t *testing.T) {
+	tab := sampleTable()
+	if err := tab.WriteCSV(&failWriter{}); err == nil {
+		t.Error("want error from failing writer")
+	}
+}

@@ -1,0 +1,166 @@
+// Package report formats experiment results as aligned text tables and
+// CSV, the output backends for the table/figure regeneration tools.
+package report
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrBadTable reports a malformed table.
+var ErrBadTable = errors.New("report: malformed table")
+
+// Table is a simple rows-and-columns text table.
+type Table struct {
+	// Title is printed above the table when non-empty.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows hold the cells; every row must match the header width.
+	Rows [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddFloats appends a row with a leading label and formatted floats.
+func (t *Table) AddFloats(label string, vals ...float64) {
+	row := make([]string, 0, len(vals)+1)
+	row = append(row, label)
+	for _, v := range vals {
+		row = append(row, FormatFloat(v))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals,
+// otherwise 4 significant digits.
+func FormatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}
+
+// validate checks row widths.
+func (t *Table) validate() error {
+	w := len(t.Header)
+	if w == 0 {
+		return fmt.Errorf("%w: empty header", ErrBadTable)
+	}
+	for i, r := range t.Rows {
+		if len(r) != w {
+			return fmt.Errorf("%w: row %d has %d cells, header has %d", ErrBadTable, i, len(r), w)
+		}
+	}
+	return nil
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	total := len(t.Header)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (header first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMarkdown renders the table as a GitHub-flavored Markdown table,
+// for pasting regenerated results into the repository's documentation.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, cell := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(cell, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	b.WriteString("|")
+	for range t.Header {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the text form, swallowing errors into the string (for
+// fmt.Stringer convenience in logs and tests).
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.WriteText(&b); err != nil {
+		return fmt.Sprintf("<bad table: %v>", err)
+	}
+	return b.String()
+}

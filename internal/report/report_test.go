@@ -1,0 +1,119 @@
+package report
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		Title:  "demo",
+		Header: []string{"name", "v1", "v2"},
+	}
+	t.AddRow("alpha", "1", "2")
+	t.AddFloats("beta", 3.14159, 2.0)
+	return t
+}
+
+func TestWriteText(t *testing.T) {
+	var b bytes.Buffer
+	if err := sampleTable().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"demo", "name", "alpha", "beta", "3.142", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Columns aligned: "alpha" and "beta " rows start at column 0 and
+	// the header/sep lengths match.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := sampleTable().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want 3", len(lines))
+	}
+	if lines[0] != "name,v1,v2" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "beta,3.142,2") {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := &Table{Header: []string{"a", "b"}}
+	bad.AddRow("only-one")
+	var b bytes.Buffer
+	if err := bad.WriteText(&b); !errors.Is(err, ErrBadTable) {
+		t.Errorf("want ErrBadTable, got %v", err)
+	}
+	if err := bad.WriteCSV(&b); !errors.Is(err, ErrBadTable) {
+		t.Errorf("want ErrBadTable, got %v", err)
+	}
+	empty := &Table{}
+	if err := empty.WriteText(&b); !errors.Is(err, ErrBadTable) {
+		t.Errorf("want ErrBadTable for empty header, got %v", err)
+	}
+	if s := bad.String(); !strings.Contains(s, "bad table") {
+		t.Errorf("String on bad table = %q", s)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := sampleTable().String()
+	if !strings.Contains(s, "alpha") {
+		t.Errorf("String output missing data: %q", s)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var b bytes.Buffer
+	tab := sampleTable()
+	tab.AddRow("pipe|cell", "1", "2")
+	if err := tab.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"**demo**", "| name | v1 | v2 |", "|---|---|---|", "| alpha | 1 | 2 |", `pipe\|cell`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	bad := &Table{Header: []string{"a"}}
+	bad.AddRow("x", "y")
+	if err := bad.WriteMarkdown(&b); !errors.Is(err, ErrBadTable) {
+		t.Errorf("want ErrBadTable, got %v", err)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{2, "2"},
+		{-3, "-3"},
+		{0, "0"},
+		{3.14159, "3.142"},
+		{0.000123456, "0.0001235"},
+		{1e20, "1e+20"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"testing"
+
+	"swcc/internal/trace"
+	"swcc/internal/tracegen"
+)
+
+func genTrace(t *testing.T, preset string, instr int) *trace.Trace {
+	t.Helper()
+	cfg, err := tracegen.Preset(preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.InstrPerCPU = instr
+	tr, err := tracegen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSimulationDeterministic(t *testing.T) {
+	tr := genTrace(t, "pops", 10_000)
+	cfg := Config{NCPU: tr.NCPU, Cache: CacheConfig{Size: 64 * 1024, BlockSize: 16, Assoc: 2}, Protocol: ProtoDragon}
+	a, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.BusBusy != b.BusBusy {
+		t.Error("simulation not deterministic")
+	}
+	for c := range a.PerCPU {
+		if a.PerCPU[c] != b.PerCPU[c] {
+			t.Errorf("cpu %d stats differ", c)
+		}
+	}
+}
+
+func TestSimulationInvariants(t *testing.T) {
+	tr := genTrace(t, "pops", 20_000)
+	for _, proto := range []Protocol{ProtoBase, ProtoDragon, ProtoNoCache, ProtoSoftwareFlush, ProtoWriteInvalidate} {
+		cfg := Config{NCPU: tr.NCPU, Cache: CacheConfig{Size: 64 * 1024, BlockSize: 16, Assoc: 2}, Protocol: proto}
+		res, err := Run(cfg, tr)
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if res.BusBusy > res.Makespan {
+			t.Errorf("%v: bus busy %d exceeds makespan %d", proto, res.BusBusy, res.Makespan)
+		}
+		if p := res.Power(); p <= 0 || p > float64(tr.NCPU) {
+			t.Errorf("%v: power %g out of (0, ncpu]", proto, p)
+		}
+		tot := res.Totals()
+		if tot.DataMisses > tot.DataRefs() {
+			t.Errorf("%v: more data misses than data refs", proto)
+		}
+		if tot.InstrMisses > tot.Instructions {
+			t.Errorf("%v: more instruction misses than instructions", proto)
+		}
+		wantInstr := uint64(tr.NCPU * 20_000)
+		if tot.Instructions != wantInstr {
+			t.Errorf("%v: instructions = %d, want %d", proto, tot.Instructions, wantInstr)
+		}
+		// Every CPU must have advanced.
+		for c, s := range res.PerCPU {
+			if s.Cycles == 0 {
+				t.Errorf("%v: cpu %d never ran", proto, c)
+			}
+		}
+	}
+}
+
+func TestSchemeOrderingUnderSimulation(t *testing.T) {
+	// The paper's qualitative result must hold in simulation too:
+	// Base >= Dragon > No-Cache, with Software-Flush in between the
+	// last two for episode-sized apl.
+	tr := genTrace(t, "pops", 30_000)
+	cache := CacheConfig{Size: 64 * 1024, BlockSize: 16, Assoc: 2}
+	power := map[Protocol]float64{}
+	for _, proto := range []Protocol{ProtoBase, ProtoDragon, ProtoNoCache, ProtoSoftwareFlush} {
+		res, err := Run(Config{NCPU: tr.NCPU, Cache: cache, Protocol: proto}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		power[proto] = res.Power()
+	}
+	if power[ProtoBase] < power[ProtoDragon] {
+		t.Errorf("Base %g < Dragon %g", power[ProtoBase], power[ProtoDragon])
+	}
+	if power[ProtoDragon] <= power[ProtoNoCache] {
+		t.Errorf("Dragon %g <= No-Cache %g", power[ProtoDragon], power[ProtoNoCache])
+	}
+	if power[ProtoSoftwareFlush] <= power[ProtoNoCache] {
+		t.Errorf("Software-Flush %g <= No-Cache %g", power[ProtoSoftwareFlush], power[ProtoNoCache])
+	}
+	if power[ProtoSoftwareFlush] >= power[ProtoBase] {
+		t.Errorf("Software-Flush %g >= Base %g", power[ProtoSoftwareFlush], power[ProtoBase])
+	}
+}
+
+func TestLargerCachesMissLess(t *testing.T) {
+	tr := genTrace(t, "pero", 30_000)
+	var prevMisses uint64 = 1 << 62
+	for _, size := range []int{16 * 1024, 64 * 1024, 256 * 1024} {
+		res, err := Run(Config{NCPU: tr.NCPU, Cache: CacheConfig{Size: size, BlockSize: 16, Assoc: 2}, Protocol: ProtoDragon}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tot := res.Totals()
+		misses := tot.DataMisses + tot.InstrMisses
+		if misses > prevMisses {
+			t.Errorf("cache %dK: misses %d grew from %d", size/1024, misses, prevMisses)
+		}
+		prevMisses = misses
+	}
+}
+
+func TestMoreProcessorsMoreBusContention(t *testing.T) {
+	// Per-reference bus wait should grow with processor count for a
+	// bus-hungry protocol.
+	cache := CacheConfig{Size: 16 * 1024, BlockSize: 16, Assoc: 2}
+	waitPerInstr := func(preset string, instr int) float64 {
+		tr := genTrace(t, preset, instr)
+		res, err := Run(Config{NCPU: tr.NCPU, Cache: cache, Protocol: ProtoNoCache}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tot := res.Totals()
+		return float64(tot.BusWait) / float64(tot.Instructions)
+	}
+	w4 := waitPerInstr("pero", 20_000)
+	w8 := waitPerInstr("pero8", 20_000)
+	if w8 <= w4 {
+		t.Errorf("8-cpu wait/instr %g should exceed 4-cpu %g", w8, w4)
+	}
+}
+
+func TestDragonMissRateBelowSoftwareFlush(t *testing.T) {
+	// Software-Flush re-misses on every flushed region; Dragon keeps
+	// shared lines resident. Its data miss count must be lower.
+	tr := genTrace(t, "pops", 30_000)
+	cache := CacheConfig{Size: 64 * 1024, BlockSize: 16, Assoc: 2}
+	dragon, err := Run(Config{NCPU: tr.NCPU, Cache: cache, Protocol: ProtoDragon}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := Run(Config{NCPU: tr.NCPU, Cache: cache, Protocol: ProtoSoftwareFlush}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dragon.Totals().DataMisses >= sf.Totals().DataMisses {
+		t.Errorf("Dragon misses %d should be below Software-Flush %d",
+			dragon.Totals().DataMisses, sf.Totals().DataMisses)
+	}
+}
+
+func TestSnoopStatsInRange(t *testing.T) {
+	tr := genTrace(t, "pops", 30_000)
+	res, err := Run(Config{NCPU: tr.NCPU, Cache: CacheConfig{Size: 64 * 1024, BlockSize: 16, Assoc: 2}, Protocol: ProtoDragon}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Snoop
+	if o := s.OPres(); o < 0 || o > 1 {
+		t.Errorf("opres = %g", o)
+	}
+	if o := s.OClean(); o < 0 || o > 1 {
+		t.Errorf("oclean = %g", o)
+	}
+	if n := s.NShd(); n < 0 || n > float64(tr.NCPU-1) {
+		t.Errorf("nshd = %g", n)
+	}
+	if s.SharedRefs == 0 || s.Broadcasts == 0 {
+		t.Error("expected sharing activity in pops trace")
+	}
+}

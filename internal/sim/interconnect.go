@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Medium selects the processor-memory interconnect the simulator models.
+type Medium uint8
+
+// Interconnect media. The paper validates its model on a bus (Section 3)
+// and leaves network validation to future work ("we hope to ... validate
+// our methodology against simulation"); MediumNetwork supplies that.
+const (
+	// MediumBus is the shared bus with FCFS arbitration (the paper's
+	// validation substrate).
+	MediumBus Medium = iota
+	// MediumNetwork is a circuit-switched butterfly of 2x2 switches:
+	// a transaction holds one link per stage for its whole duration,
+	// and conflicting transactions queue on the links they share.
+	MediumNetwork
+)
+
+// String names the medium.
+func (m Medium) String() string {
+	switch m {
+	case MediumBus:
+		return "bus"
+	case MediumNetwork:
+		return "network"
+	default:
+		return fmt.Sprintf("Medium(%d)", uint8(m))
+	}
+}
+
+// interconnect abstracts the shared medium for the engine: a transaction
+// by cpu to addr asks for `hold` cycles of occupancy starting no earlier
+// than now, and is granted at the returned cycle.
+type interconnect interface {
+	acquire(cpu int, addr uint64, now, hold uint64) (grant uint64)
+	stats() (busy, wait, transactions uint64)
+}
+
+// busInterconnect adapts Bus.
+type busInterconnect struct {
+	bus Bus
+}
+
+func (b *busInterconnect) acquire(_ int, _ uint64, now, hold uint64) uint64 {
+	return b.bus.Acquire(now, hold)
+}
+
+func (b *busInterconnect) stats() (uint64, uint64, uint64) {
+	return b.bus.BusyCycles, b.bus.WaitCycles, b.bus.Transactions
+}
+
+// multistage is a circuit-switched butterfly. Unlike the analytical
+// model's drop-and-retry discipline, blocked transactions here wait for
+// the earliest instant all their links are free — a queued approximation
+// that keeps the simulator event-driven. (The two disciplines bracket
+// real behavior; see internal/netsim for the retry-faithful simulator.)
+type multistage struct {
+	stages     int
+	ports      int
+	blockShift uint
+	// free[s][l] is when link l of stage s next becomes free.
+	free [][]uint64
+
+	busy, waiting, trans uint64
+}
+
+// newMultistage builds a network with enough stages for nproc processors;
+// memory modules are block-interleaved with the given block size.
+func newMultistage(nproc, blockSize int) *multistage {
+	stages := 1
+	for 1<<stages < nproc {
+		stages++
+	}
+	m := &multistage{
+		stages:     stages,
+		ports:      1 << stages,
+		blockShift: uint(bits.TrailingZeros(uint(blockSize))),
+	}
+	m.free = make([][]uint64, stages)
+	for s := range m.free {
+		m.free[s] = make([]uint64, m.ports)
+	}
+	return m
+}
+
+// linkOf is the butterfly link resource at stage s (0-based) on the path
+// src -> dst: dst's top s+1 bits, src's remaining low bits.
+func (m *multistage) linkOf(stage, src, dst int) int {
+	low := m.stages - 1 - stage
+	return (dst>>low)<<low | (src & (1<<low - 1))
+}
+
+func (m *multistage) acquire(cpu int, addr uint64, now, hold uint64) uint64 {
+	if hold == 0 {
+		return now
+	}
+	// Memory module: block-interleaved across the ports.
+	dst := int(addr>>m.blockShift) & (m.ports - 1)
+	grant := now
+	for s := 0; s < m.stages; s++ {
+		if f := m.free[s][m.linkOf(s, cpu, dst)]; f > grant {
+			grant = f
+		}
+	}
+	until := grant + hold
+	for s := 0; s < m.stages; s++ {
+		m.free[s][m.linkOf(s, cpu, dst)] = until
+	}
+	m.busy += hold
+	m.waiting += grant - now
+	m.trans++
+	return grant
+}
+
+func (m *multistage) stats() (uint64, uint64, uint64) {
+	return m.busy, m.waiting, m.trans
+}

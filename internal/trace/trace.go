@@ -1,0 +1,218 @@
+// Package trace defines the multiprocessor address-trace representation
+// shared by the synthetic workload generator (internal/tracegen), the
+// trace-driven simulator (internal/sim), and the parameter-extraction
+// code (internal/measure).
+//
+// A trace is an interleaved sequence of per-processor memory references,
+// the same shape as the ATUM-2 traces the paper used for validation. In
+// addition to instruction fetches, loads, and stores, a trace may carry
+// explicit Flush records so Software-Flush executions can be replayed.
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind classifies one trace record.
+type Kind uint8
+
+// Record kinds.
+const (
+	// IFetch is an instruction fetch.
+	IFetch Kind = iota
+	// Read is a data load.
+	Read
+	// Write is a data store.
+	Write
+	// Flush is a software flush instruction naming the block to purge.
+	Flush
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{"ifetch", "read", "write", "flush"}
+
+// String returns "ifetch", "read", "write", or "flush".
+func (k Kind) String() string {
+	if k >= numKinds {
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+	return kindNames[k]
+}
+
+// IsData reports whether the record is a load or store.
+func (k Kind) IsData() bool { return k == Read || k == Write }
+
+// Ref is one memory reference by one processor.
+type Ref struct {
+	// CPU is the issuing processor, 0-based.
+	CPU uint8
+	// Kind classifies the reference.
+	Kind Kind
+	// Addr is the byte address.
+	Addr uint64
+	// Shared marks references the compiler/programmer designated as
+	// shared (drives the software schemes; ignored by hardware ones).
+	Shared bool
+}
+
+// Trace is a fully materialized interleaved trace.
+type Trace struct {
+	// NCPU is the number of processors issuing references.
+	NCPU int
+	// Refs is the interleaved reference stream in global time order.
+	Refs []Ref
+}
+
+// ErrBadTrace reports a malformed trace or record.
+var ErrBadTrace = errors.New("trace: malformed trace")
+
+// Validate checks that every record's CPU lies below NCPU and kinds are
+// known.
+func (t *Trace) Validate() error {
+	if t.NCPU < 1 || t.NCPU > 256 {
+		return fmt.Errorf("%w: ncpu %d", ErrBadTrace, t.NCPU)
+	}
+	for i, r := range t.Refs {
+		if int(r.CPU) >= t.NCPU {
+			return fmt.Errorf("%w: ref %d cpu %d >= ncpu %d", ErrBadTrace, i, r.CPU, t.NCPU)
+		}
+		if r.Kind >= numKinds {
+			return fmt.Errorf("%w: ref %d kind %d", ErrBadTrace, i, r.Kind)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of records.
+func (t *Trace) Len() int { return len(t.Refs) }
+
+// PerCPU splits the trace into per-processor streams, preserving order.
+func (t *Trace) PerCPU() [][]Ref {
+	out := make([][]Ref, t.NCPU)
+	for _, r := range t.Refs {
+		if int(r.CPU) < t.NCPU {
+			out[r.CPU] = append(out[r.CPU], r)
+		}
+	}
+	return out
+}
+
+// Restrict returns a new trace containing only the references of the
+// first ncpu processors, preserving order. It models running the same
+// per-processor workloads on a smaller machine, which is how the
+// validation experiments sweep 1..N processors from one trace.
+func (t *Trace) Restrict(ncpu int) *Trace {
+	if ncpu >= t.NCPU {
+		return t
+	}
+	out := &Trace{NCPU: ncpu}
+	for _, r := range t.Refs {
+		if int(r.CPU) < ncpu {
+			out.Refs = append(out.Refs, r)
+		}
+	}
+	return out
+}
+
+// Interleave merges per-processor streams round-robin, one reference per
+// processor per turn, mirroring how multiprocessor tracers interleave
+// streams. Streams may have different lengths; exhausted streams drop out.
+func Interleave(streams [][]Ref) *Trace {
+	t := &Trace{NCPU: len(streams)}
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	t.Refs = make([]Ref, 0, total)
+	idx := make([]int, len(streams))
+	for remaining := total; remaining > 0; {
+		for c, s := range streams {
+			if idx[c] < len(s) {
+				t.Refs = append(t.Refs, s[idx[c]])
+				idx[c]++
+				remaining--
+			}
+		}
+	}
+	return t
+}
+
+// Stats summarizes a trace's composition.
+type Stats struct {
+	// NCPU is the processor count.
+	NCPU int
+	// Total is the record count.
+	Total int
+	// ByKind counts records per kind.
+	ByKind [4]int
+	// ByCPU counts records per processor.
+	ByCPU []int
+	// SharedData counts data references flagged Shared.
+	SharedData int
+	// UniqueBlocks is the number of distinct blocks touched, for the
+	// given block size in bytes.
+	UniqueBlocks int
+	// BlockSize is the block size UniqueBlocks was computed with.
+	BlockSize int
+}
+
+// ComputeStats scans the trace once and summarizes it. blockSize must be a
+// power of two.
+func ComputeStats(t *Trace, blockSize int) (Stats, error) {
+	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
+		return Stats{}, fmt.Errorf("%w: block size %d not a power of two", ErrBadTrace, blockSize)
+	}
+	if err := t.Validate(); err != nil {
+		return Stats{}, err
+	}
+	s := Stats{NCPU: t.NCPU, Total: len(t.Refs), ByCPU: make([]int, t.NCPU), BlockSize: blockSize}
+	blocks := make(map[uint64]struct{})
+	shift := 0
+	for 1<<shift < blockSize {
+		shift++
+	}
+	for _, r := range t.Refs {
+		s.ByKind[r.Kind]++
+		s.ByCPU[r.CPU]++
+		if r.Kind.IsData() && r.Shared {
+			s.SharedData++
+		}
+		blocks[r.Addr>>shift] = struct{}{}
+	}
+	s.UniqueBlocks = len(blocks)
+	return s, nil
+}
+
+// LoadStoreFraction returns the ls workload parameter implied by the
+// stats: data references per instruction (flushes are excluded from the
+// instruction base, matching the paper's per-non-flush-instruction
+// accounting).
+func (s Stats) LoadStoreFraction() float64 {
+	instr := s.ByKind[IFetch]
+	if instr == 0 {
+		return 0
+	}
+	return float64(s.ByKind[Read]+s.ByKind[Write]) / float64(instr)
+}
+
+// SharedFraction returns the shd parameter implied by the stats: the
+// fraction of data references marked shared.
+func (s Stats) SharedFraction() float64 {
+	data := s.ByKind[Read] + s.ByKind[Write]
+	if data == 0 {
+		return 0
+	}
+	return float64(s.SharedData) / float64(data)
+}
+
+// WriteFraction returns the wr parameter restricted to data references:
+// stores over loads+stores.
+func (s Stats) WriteFraction() float64 {
+	data := s.ByKind[Read] + s.ByKind[Write]
+	if data == 0 {
+		return 0
+	}
+	return float64(s.ByKind[Write]) / float64(data)
+}
