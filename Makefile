@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench artifacts examples golden cover clean
+.PHONY: all build test vet race bench bench-short check artifacts examples golden cover clean
 
 all: build vet test
 
@@ -16,10 +16,24 @@ vet:
 test:
 	$(GO) test ./...
 
+# Race-detector pass over the whole module; the sweep engine and the
+# parallel experiment runners make this a first-class gate.
+race:
+	$(GO) test -race ./...
+
 # Full benchmark suite: one benchmark per paper table/figure plus
 # solver/simulator micro benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Quick perf signal: the sweep engine (sequential vs parallel vs cached,
+# with the speedup metric) and the simulator hot loop only.
+bench-short:
+	$(GO) test -run=NONE -bench='BenchmarkSweep|BenchmarkEvaluator' -benchmem ./internal/sweep
+	$(GO) test -run=NONE -bench='BenchmarkSimHotLoop|BenchmarkTraceRestrict' -benchmem ./internal/sim
+
+# The pre-merge gate: vet plus the race-enabled test run.
+check: vet race
 
 # Regenerate every table and figure into artifacts/ (.txt, .csv, .json).
 artifacts:

@@ -6,9 +6,13 @@
 //
 //	cohere list
 //	cohere run <id> [-scale F] [-preset NAME] [-procs N] [-csv]
-//	cohere all [-scale F] [-csv]
+//	cohere all [-scale F] [-csv] [-parallel N]
 //	cohere eval -scheme NAME [-procs N] [-level low|mid|high] [-set k=v ...]
 //	cohere sweep -scheme NAME -param NAME -from F -to F [-steps N] [-procs N]
+//
+// `cohere all -parallel N` caps how many experiments run concurrently;
+// the default 0 uses every core. Output is identical at any setting —
+// parallelism only changes wall-clock time.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"swcc/internal/core"
 	"swcc/internal/experiments"
 	"swcc/internal/report"
+	"swcc/internal/sweep"
 )
 
 func main() {
@@ -129,7 +134,7 @@ func cmdRun(cmd string, args []string, out io.Writer) error {
 func cmdAll(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("all", flag.ContinueOnError)
 	scale, preset, procs, mode := experimentFlags(fs)
-	parallel := fs.Int("parallel", 4, "experiments to run concurrently")
+	parallel := fs.Int("parallel", 0, "experiments to run concurrently (0 = all cores)")
 	outDir := fs.String("out", "", "write <id>.txt/.csv/.json per experiment into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -226,7 +231,9 @@ func cmdAdvise(args []string, out io.Writer) error {
 	var hw string
 	if *stages == 0 {
 		hw = fmt.Sprintf("%d-processor bus", *procs)
-		ranked, err = core.RankBus(candidates, p, core.BusCosts(), *procs)
+		// The ranking re-evaluates Base for every candidate's efficiency
+		// figure; a caching evaluator solves it once.
+		ranked, err = core.RankBusWith(sweep.NewEvaluator(), candidates, p, core.BusCosts(), *procs)
 	} else {
 		hw = fmt.Sprintf("%d-processor circuit-switched network", 1<<*stages)
 		ranked, err = core.RankNetwork(candidates, p, *stages)

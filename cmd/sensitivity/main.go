@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	sensitivity [-procs 16] [-rank scheme]
+//	sensitivity [-procs 16] [-rank scheme] [-parallel N]
+//
+// -parallel sizes the worker pool the sensitivity grid is evaluated on
+// (0, the default, uses every core); results are bit-identical at any
+// setting.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"swcc/internal/core"
 	"swcc/internal/report"
 	"swcc/internal/sensitivity"
+	"swcc/internal/sweep"
 )
 
 func main() {
@@ -29,10 +34,11 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sensitivity", flag.ContinueOnError)
 	procs := fs.Int("procs", 16, "bus machine size the execution time is computed at")
 	rank := fs.String("rank", "", "also print parameters ranked by impact for this scheme")
+	parallel := fs.Int("parallel", 0, "worker pool size for the sensitivity grid (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tab8, err := sensitivity.Analyze(core.PaperSchemes(), *procs)
+	tab8, err := sensitivity.AnalyzeWith(sweep.New(*parallel), core.PaperSchemes(), *procs)
 	if err != nil {
 		return err
 	}

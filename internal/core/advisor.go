@@ -22,16 +22,22 @@ type Ranking struct {
 // the given cost table are skipped (e.g. Dragon on network costs); it is
 // an error if none survive.
 func RankBus(candidates []Scheme, p Params, costs *CostTable, nproc int) ([]Ranking, error) {
+	return RankBusWith(Direct(), candidates, p, costs, nproc)
+}
+
+// RankBusWith is RankBus with the power solves routed through ev, so
+// repeated advisor queries hit a memoizing evaluator instead of re-solving.
+func RankBusWith(ev PowerEvaluator, candidates []Scheme, p Params, costs *CostTable, nproc int) ([]Ranking, error) {
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("core: no candidate schemes")
 	}
-	base, err := BusPower(Base{}, p, costs, nproc)
+	base, err := ev.BusPower(Base{}, p, costs, nproc)
 	if err != nil {
 		return nil, err
 	}
 	var out []Ranking
 	for _, s := range candidates {
-		pw, err := BusPower(s, p, costs, nproc)
+		pw, err := ev.BusPower(s, p, costs, nproc)
 		if err != nil {
 			if isUnsupported(err) {
 				continue
@@ -90,11 +96,18 @@ func RankNetwork(candidates []Scheme, p Params, stages int) ([]Ranking, error) {
 // This is the library's "which scheme should I build?" entry point; the
 // candidates are the paper's implementable schemes plus the extensions.
 func Recommend(p Params, nproc, stages int) (Ranking, error) {
+	return RecommendWith(Direct(), p, nproc, stages)
+}
+
+// RecommendWith is Recommend with bus power solves routed through ev
+// (network rankings always solve fresh: their Patel fixed point has no
+// cached form yet).
+func RecommendWith(ev PowerEvaluator, p Params, nproc, stages int) (Ranking, error) {
 	candidates := []Scheme{Dragon{}, SoftwareFlush{}, NoCache{}, Hybrid{LockFrac: 0.3}, Directory{}}
 	var ranked []Ranking
 	var err error
 	if stages == 0 {
-		ranked, err = RankBus(candidates, p, BusCosts(), nproc)
+		ranked, err = RankBusWith(ev, candidates, p, BusCosts(), nproc)
 	} else {
 		ranked, err = RankNetwork(candidates, p, stages)
 	}

@@ -9,6 +9,25 @@ import (
 // ("how good must the compiler's flush placement be?", "how much sharing
 // can a software scheme afford?") answered by inverting the model.
 
+// PowerEvaluator computes bus processing power. The analysis and advisor
+// entry points accept one so callers can route the many BusPower solves
+// inside their bisections and rankings through a memoizing evaluator
+// (internal/sweep) instead of solving fresh every time.
+type PowerEvaluator interface {
+	BusPower(s Scheme, p Params, costs *CostTable, nproc int) (float64, error)
+}
+
+// directEvaluator solves fresh on every call.
+type directEvaluator struct{}
+
+func (directEvaluator) BusPower(s Scheme, p Params, costs *CostTable, nproc int) (float64, error) {
+	return BusPower(s, p, costs, nproc)
+}
+
+// Direct returns the uncached PowerEvaluator: every BusPower call runs a
+// full ComputeDemand + MVA solve.
+func Direct() PowerEvaluator { return directEvaluator{} }
+
 // APLToMatch returns the smallest apl at which Software-Flush's
 // processing power reaches the target scheme's power, at the given
 // workload and machine size. found is false when even an arbitrarily
@@ -18,10 +37,15 @@ import (
 // Software-Flush power is non-decreasing in apl, so a bisection on
 // [1, aplMax] is exact to the returned tolerance.
 func APLToMatch(target Scheme, p Params, costs *CostTable, nproc int) (apl float64, found bool, err error) {
+	return APLToMatchWith(Direct(), target, p, costs, nproc)
+}
+
+// APLToMatchWith is APLToMatch with the power solves routed through ev.
+func APLToMatchWith(ev PowerEvaluator, target Scheme, p Params, costs *CostTable, nproc int) (apl float64, found bool, err error) {
 	if nproc < 1 {
 		return 0, false, fmt.Errorf("core: nproc %d < 1", nproc)
 	}
-	goal, err := BusPower(target, p, costs, nproc)
+	goal, err := ev.BusPower(target, p, costs, nproc)
 	if err != nil {
 		return 0, false, err
 	}
@@ -30,7 +54,7 @@ func APLToMatch(target Scheme, p Params, costs *CostTable, nproc int) (apl float
 		if err != nil {
 			return 0, err
 		}
-		return BusPower(SoftwareFlush{}, q, costs, nproc)
+		return ev.BusPower(SoftwareFlush{}, q, costs, nproc)
 	}
 	const aplMax = 1e9
 	top, err := powerAt(aplMax)
@@ -75,6 +99,12 @@ func APLToMatch(target Scheme, p Params, costs *CostTable, nproc int) (apl float
 // TestSoftwareFlushSharingCanPay), in which case the returned budget is
 // a conservative feasible point rather than the exact supremum.
 func MaxShdForPower(s Scheme, p Params, costs *CostTable, nproc int, minPower float64) (shd float64, found bool, err error) {
+	return MaxShdForPowerWith(Direct(), s, p, costs, nproc, minPower)
+}
+
+// MaxShdForPowerWith is MaxShdForPower with the power solves routed
+// through ev.
+func MaxShdForPowerWith(ev PowerEvaluator, s Scheme, p Params, costs *CostTable, nproc int, minPower float64) (shd float64, found bool, err error) {
 	if nproc < 1 {
 		return 0, false, fmt.Errorf("core: nproc %d < 1", nproc)
 	}
@@ -83,7 +113,7 @@ func MaxShdForPower(s Scheme, p Params, costs *CostTable, nproc int, minPower fl
 		if err != nil {
 			return 0, err
 		}
-		return BusPower(s, q, costs, nproc)
+		return ev.BusPower(s, q, costs, nproc)
 	}
 	atZero, err := powerAt(0)
 	if err != nil {
@@ -119,11 +149,17 @@ func MaxShdForPower(s Scheme, p Params, costs *CostTable, nproc int, minPower fl
 // scheme's at the same workload and machine size: the coherence overhead
 // expressed as lost processing power.
 func EfficiencyVsBase(s Scheme, p Params, costs *CostTable, nproc int) (float64, error) {
-	base, err := BusPower(Base{}, p, costs, nproc)
+	return EfficiencyVsBaseWith(Direct(), s, p, costs, nproc)
+}
+
+// EfficiencyVsBaseWith is EfficiencyVsBase with the power solves routed
+// through ev.
+func EfficiencyVsBaseWith(ev PowerEvaluator, s Scheme, p Params, costs *CostTable, nproc int) (float64, error) {
+	base, err := ev.BusPower(Base{}, p, costs, nproc)
 	if err != nil {
 		return 0, err
 	}
-	pw, err := BusPower(s, p, costs, nproc)
+	pw, err := ev.BusPower(s, p, costs, nproc)
 	if err != nil {
 		return 0, err
 	}

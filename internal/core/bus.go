@@ -45,18 +45,26 @@ func EvaluateBus(s Scheme, p Params, costs *CostTable, maxProcs int) ([]BusPoint
 	}
 	points := make([]BusPoint, maxProcs)
 	for i, r := range mva {
-		u := 1 / (d.CPU + r.Wait)
-		points[i] = BusPoint{
-			Processors:     r.Customers,
-			CPU:            d.CPU,
-			Bus:            d.Interconnect,
-			Wait:           r.Wait,
-			Utilization:    u,
-			Power:          float64(r.Customers) * u,
-			BusUtilization: r.Utilization,
-		}
+		points[i] = BusPointFromMVA(d, r)
 	}
 	return points, nil
+}
+
+// BusPointFromMVA converts one MVA population result for demand d into a
+// BusPoint. EvaluateBus is ComputeDemand + SingleServerMVA + this; cached
+// evaluators (internal/sweep) reuse it so their results are bit-identical
+// to a fresh solve.
+func BusPointFromMVA(d Demand, r queueing.SingleServerResult) BusPoint {
+	u := 1 / (d.CPU + r.Wait)
+	return BusPoint{
+		Processors:     r.Customers,
+		CPU:            d.CPU,
+		Bus:            d.Interconnect,
+		Wait:           r.Wait,
+		Utilization:    u,
+		Power:          float64(r.Customers) * u,
+		BusUtilization: r.Utilization,
+	}
 }
 
 // BusPower is a convenience wrapper returning only the processing power at

@@ -1,0 +1,70 @@
+package core
+
+// ParamsUser is optionally implemented by schemes to declare which
+// workload parameters (by Table 2 name) affect their Frequencies. The
+// declaration lets memoization layers canonicalize a Params before using
+// it as a cache key: two workloads that differ only in parameters a
+// scheme ignores then share one cache entry. A wrong declaration would
+// produce wrong cache hits, so TestParamsUsedComplete exercises every
+// declared scheme against every undeclared field.
+type ParamsUser interface {
+	// ParamsUsed returns the Table 2 names of the parameters that
+	// influence Frequencies.
+	ParamsUsed() []string
+}
+
+// CanonicalParams maps p to a canonical representative of its equivalence
+// class under s: parameters the scheme declares unused are reset to a
+// fixed baseline, parameters it uses are copied through. Schemes that do
+// not implement ParamsUser canonicalize to p itself (every field
+// significant). The result is only suitable as a cache key — evaluate
+// demands with the original p, which carries the full validation state.
+func CanonicalParams(s Scheme, p Params) Params {
+	u, ok := s.(ParamsUser)
+	if !ok {
+		return p
+	}
+	out := Params{APL: 1} // baseline: zero everywhere, minimum legal apl
+	for _, name := range u.ParamsUsed() {
+		f, err := FieldByName(name)
+		if err != nil {
+			return p // unknown declaration: fail safe, no collapsing
+		}
+		f.Set(&out, f.Get(&p))
+	}
+	return out
+}
+
+// ParamsUsed implements ParamsUser: Base misses depend only on the
+// reference mix and miss rates (Table 3).
+func (Base) ParamsUsed() []string { return []string{"ls", "msdat", "mains", "md"} }
+
+// ParamsUsed implements ParamsUser (Table 4: shared references bypass the
+// cache, split by wr).
+func (NoCache) ParamsUsed() []string {
+	return []string{"ls", "msdat", "mains", "md", "shd", "wr"}
+}
+
+// ParamsUsed implements ParamsUser (Table 5: flush rate ls*shd/apl, dirty
+// flushes with probability mdshd; wr does not appear).
+func (SoftwareFlush) ParamsUsed() []string {
+	return []string{"ls", "msdat", "mains", "md", "shd", "apl", "mdshd"}
+}
+
+// ParamsUsed implements ParamsUser (Table 6: Dragon reacts to the sharing
+// parameters but ignores apl and mdshd, which are flush artifacts).
+func (Dragon) ParamsUsed() []string {
+	return []string{"ls", "msdat", "mains", "md", "shd", "wr", "oclean", "opres", "nshd"}
+}
+
+// ParamsUsed implements ParamsUser (extension scheme: invalidation
+// traffic scales with shd*wr*opres).
+func (Directory) ParamsUsed() []string {
+	return []string{"ls", "msdat", "mains", "md", "shd", "wr", "opres"}
+}
+
+// ParamsUsed implements ParamsUser: the hybrid combines the No-Cache and
+// Software-Flush parameter sets.
+func (Hybrid) ParamsUsed() []string {
+	return []string{"ls", "msdat", "mains", "md", "shd", "wr", "apl", "mdshd"}
+}

@@ -6,6 +6,7 @@ import (
 	"swcc/internal/core"
 	"swcc/internal/plot"
 	"swcc/internal/report"
+	"swcc/internal/sweep"
 )
 
 func init() {
@@ -17,9 +18,10 @@ func init() {
 	register(Spec{ID: "fig9", Paper: "Figure 9", Title: "Processing power vs apl, medium sharing", Run: aplSweep("fig9", core.Mid)})
 }
 
-// busPowerSeries evaluates one scheme's power curve over 1..maxProcs.
+// busPowerSeries evaluates one scheme's power curve over 1..maxProcs,
+// through the shared memo cache.
 func busPowerSeries(s core.Scheme, p core.Params, maxProcs int) (plot.Series, error) {
-	pts, err := core.EvaluateBus(s, p, core.BusCosts(), maxProcs)
+	pts, err := busEval.EvaluateBus(s, p, core.BusCosts(), maxProcs)
 	if err != nil {
 		return plot.Series{}, err
 	}
@@ -63,15 +65,17 @@ func busLevels(l core.Level) func(Options) (*Dataset, error) {
 		}
 		ds.Series = append(ds.Series, idealSeries(maxProcs))
 		tab := &report.Table{Header: []string{"processors", "Base", "Dragon", "Software-Flush", "No-Cache"}}
-		var curves []plot.Series
-		for _, s := range core.PaperSchemes() {
-			sr, err := busPowerSeries(s, p, maxProcs)
-			if err != nil {
-				return nil, err
-			}
-			curves = append(curves, sr)
-			ds.Series = append(ds.Series, sr)
+		// One curve per scheme, solved in parallel into per-scheme slots.
+		schemes := core.PaperSchemes()
+		curves := make([]plot.Series, len(schemes))
+		if err := sweep.Each(0, len(schemes), func(i int) error {
+			var err error
+			curves[i], err = busPowerSeries(schemes[i], p, maxProcs)
+			return err
+		}); err != nil {
+			return nil, err
 		}
+		ds.Series = append(ds.Series, curves...)
 		for i := 0; i < maxProcs; i++ {
 			tab.AddFloats(fmt.Sprint(i+1),
 				round3(curves[0].Y[i]), round3(curves[1].Y[i]), round3(curves[2].Y[i]), round3(curves[3].Y[i]))
@@ -90,26 +94,40 @@ func runFig7(opt Options) (*Dataset, error) {
 		YLabel: "processing power",
 	}
 	mid := core.MiddleParams()
-	// Reference curves: Dragon above, No-Cache below.
-	for _, s := range []core.Scheme{core.Dragon{}, core.NoCache{}} {
-		sr, err := busPowerSeries(s, mid, maxProcs)
-		if err != nil {
-			return nil, err
-		}
-		ds.Series = append(ds.Series, sr)
+	// Reference curves (Dragon above, No-Cache below) plus one
+	// Software-Flush curve per apl value, all solved in parallel into
+	// per-curve slots so the series order never depends on scheduling.
+	type job struct {
+		scheme core.Scheme
+		params core.Params
+		rename string
+	}
+	jobs := []job{
+		{scheme: core.Dragon{}, params: mid},
+		{scheme: core.NoCache{}, params: mid},
 	}
 	for _, apl := range []float64{1, 2, 4, 8, 25, 100} {
 		p, err := mid.With("apl", apl)
 		if err != nil {
 			return nil, err
 		}
-		sr, err := busPowerSeries(core.SoftwareFlush{}, p, maxProcs)
-		if err != nil {
-			return nil, err
-		}
-		sr.Name = fmt.Sprintf("SF apl=%g", apl)
-		ds.Series = append(ds.Series, sr)
+		jobs = append(jobs, job{core.SoftwareFlush{}, p, fmt.Sprintf("SF apl=%g", apl)})
 	}
+	curves := make([]plot.Series, len(jobs))
+	if err := sweep.Each(0, len(jobs), func(i int) error {
+		sr, err := busPowerSeries(jobs[i].scheme, jobs[i].params, maxProcs)
+		if err != nil {
+			return err
+		}
+		if jobs[i].rename != "" {
+			sr.Name = jobs[i].rename
+		}
+		curves[i] = sr
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	ds.Series = append(ds.Series, curves...)
 	ds.Notes = append(ds.Notes,
 		"apl=1 falls below No-Cache (every shared reference flushes and re-misses);",
 		"large apl approaches and can exceed Dragon")
@@ -138,18 +156,29 @@ func aplSweep(id string, shdLevel core.Level) func(Options) (*Dataset, error) {
 		for i, n := range sizes {
 			series[i].Name = fmt.Sprintf("%d processors", n)
 		}
+		// The full apl x size grid is one engine call: the cells solve on
+		// the worker pool (sharing the package cache) and come back in
+		// input order, so the series fill exactly as the nested loop did.
 		apls := []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+		points := make([]sweep.Point, 0, len(apls)*len(sizes))
 		for _, apl := range apls {
 			p, err := base.With("apl", apl)
 			if err != nil {
 				return nil, err
 			}
+			for _, n := range sizes {
+				points = append(points, sweep.Point{Scheme: core.SoftwareFlush{}, Params: p, NProc: n})
+			}
+		}
+		eng := &sweep.Engine{Cache: busEval}
+		results := eng.EvaluateBus(points, core.BusCosts())
+		if err := sweep.FirstError(results); err != nil {
+			return nil, err
+		}
+		for j, apl := range apls {
 			row := []float64{}
-			for i, n := range sizes {
-				pw, err := core.BusPower(core.SoftwareFlush{}, p, core.BusCosts(), n)
-				if err != nil {
-					return nil, err
-				}
+			for i := range sizes {
+				pw := results[j*len(sizes)+i].Bus.Power
 				series[i].X = append(series[i].X, apl)
 				series[i].Y = append(series[i].Y, pw)
 				row = append(row, round3(pw))

@@ -8,6 +8,7 @@ import (
 	"swcc/internal/plot"
 	"swcc/internal/queueing"
 	"swcc/internal/report"
+	"swcc/internal/sweep"
 )
 
 func init() {
@@ -116,17 +117,17 @@ func runHybrid(opt Options) (*Dataset, error) {
 	}
 	p := core.MiddleParams()
 	tab := &report.Table{Header: []string{"lock frac", "power", "vs all-flush", "vs all-nocache"}}
-	sf, err := core.BusPower(core.SoftwareFlush{}, p, core.BusCosts(), nproc)
+	sf, err := busEval.BusPower(core.SoftwareFlush{}, p, core.BusCosts(), nproc)
 	if err != nil {
 		return nil, err
 	}
-	nc, err := core.BusPower(core.NoCache{}, p, core.BusCosts(), nproc)
+	nc, err := busEval.BusPower(core.NoCache{}, p, core.BusCosts(), nproc)
 	if err != nil {
 		return nil, err
 	}
 	sr := plot.Series{Name: "Hybrid"}
 	for lf := 0.0; lf <= 1.0001; lf += 0.1 {
-		pw, err := core.BusPower(core.Hybrid{LockFrac: lf}, p, core.BusCosts(), nproc)
+		pw, err := busEval.BusPower(core.Hybrid{LockFrac: lf}, p, core.BusCosts(), nproc)
 		if err != nil {
 			return nil, err
 		}
@@ -179,13 +180,19 @@ func runCrossover(opt Options) (*Dataset, error) {
 		Title: fmt.Sprintf("apl Software-Flush needs to match its competitors (%d-processor bus)", nproc),
 	}
 	tab := &report.Table{Header: []string{"shd", "apl to match No-Cache", "apl to match Dragon"}}
-	for _, shd := range []float64{0.08, 0.15, 0.25, 0.35, 0.42} {
+	// Each shd row runs two bisections; the rows are independent, so they
+	// run in parallel, each routed through the shared cache (the Dragon
+	// and No-Cache target powers recur across all rows and solve once).
+	shds := []float64{0.08, 0.15, 0.25, 0.35, 0.42}
+	rows := make([][3]string, len(shds))
+	if err := sweep.Each(0, len(shds), func(i int) error {
+		shd := shds[i]
 		p, err := core.MiddleParams().With("shd", shd)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fmtApl := func(target core.Scheme) (string, error) {
-			apl, found, err := core.APLToMatch(target, p, core.BusCosts(), nproc)
+			apl, found, err := core.APLToMatchWith(busEval, target, p, core.BusCosts(), nproc)
 			if err != nil {
 				return "", err
 			}
@@ -196,13 +203,19 @@ func runCrossover(opt Options) (*Dataset, error) {
 		}
 		vsNC, err := fmtApl(core.NoCache{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		vsDragon, err := fmtApl(core.Dragon{})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		tab.AddRow(fmt.Sprintf("%.2f", shd), vsNC, vsDragon)
+		rows[i] = [3]string{fmt.Sprintf("%.2f", shd), vsNC, vsDragon}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		tab.AddRow(r[0], r[1], r[2])
 	}
 	ds.Table = tab
 	ds.Notes = append(ds.Notes,

@@ -6,6 +6,7 @@ import (
 	"swcc/internal/plot"
 	"swcc/internal/report"
 	"swcc/internal/sim"
+	"swcc/internal/sweep"
 	"swcc/internal/tracegen"
 )
 
@@ -43,29 +44,47 @@ func runFig10Sim(opt Options) (*Dataset, error) {
 	}
 	tab := &report.Table{Header: []string{"processors", "protocol", "bus power", "net power"}}
 	sizes := []int{2, 4, 8, 16}
-	for _, proto := range []sim.Protocol{sim.ProtoSoftwareFlush, sim.ProtoNoCache} {
+	protos := []sim.Protocol{sim.ProtoSoftwareFlush, sim.ProtoNoCache}
+	// Every (protocol, size, medium) simulation is independent: flatten
+	// the grid into jobs, run them on all cores, and read the powers back
+	// by index so series and table order match the old nested loops.
+	media := []sim.Medium{sim.MediumBus, sim.MediumNetwork}
+	type job struct {
+		proto  sim.Protocol
+		n      int
+		medium sim.Medium
+	}
+	var jobs []job
+	for _, proto := range protos {
+		for _, n := range sizes {
+			for _, m := range media {
+				jobs = append(jobs, job{proto, n, m})
+			}
+		}
+	}
+	powers := make([]float64, len(jobs))
+	if err := sweep.Each(0, len(jobs), func(i int) error {
+		j := jobs[i]
+		sub := tr.Restrict(j.n)
+		res, err := sim.Run(sim.Config{
+			NCPU: j.n, Cache: cache, Protocol: j.proto, Medium: j.medium,
+			WarmupRefs: len(sub.Refs) / 2,
+		}, sub)
+		if err != nil {
+			return err
+		}
+		powers[i] = res.Power()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, proto := range protos {
 		busSeries := plot.Series{Name: proto.String() + " (bus)"}
 		netSeries := plot.Series{Name: proto.String() + " (net)"}
 		for _, n := range sizes {
-			sub := tr.Restrict(n)
-			power := func(m sim.Medium) (float64, error) {
-				res, err := sim.Run(sim.Config{
-					NCPU: n, Cache: cache, Protocol: proto, Medium: m,
-					WarmupRefs: len(sub.Refs) / 2,
-				}, sub)
-				if err != nil {
-					return 0, err
-				}
-				return res.Power(), nil
-			}
-			busP, err := power(sim.MediumBus)
-			if err != nil {
-				return nil, err
-			}
-			netP, err := power(sim.MediumNetwork)
-			if err != nil {
-				return nil, err
-			}
+			busP, netP := powers[i], powers[i+1]
+			i += 2
 			busSeries.X = append(busSeries.X, float64(n))
 			busSeries.Y = append(busSeries.Y, busP)
 			netSeries.X = append(netSeries.X, float64(n))

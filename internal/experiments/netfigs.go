@@ -6,6 +6,7 @@ import (
 	"swcc/internal/core"
 	"swcc/internal/plot"
 	"swcc/internal/report"
+	"swcc/internal/sweep"
 )
 
 func init() {
@@ -26,40 +27,47 @@ func runFig10(opt Options) (*Dataset, error) {
 	}
 	p := core.MiddleParams()
 	schemes := []core.Scheme{core.Base{}, core.SoftwareFlush{}, core.NoCache{}}
-	for _, s := range schemes {
+	// Per-scheme bus and network curves solve in parallel into per-scheme
+	// slots; the bus side goes through the shared cache, so the table
+	// below reuses the same curves instead of re-solving.
+	busSeries := make([]plot.Series, len(schemes))
+	netSeries := make([]plot.Series, len(schemes))
+	netPoints := make([][]core.NetworkPoint, len(schemes))
+	if err := sweep.Each(0, len(schemes), func(i int) error {
+		s := schemes[i]
 		sr, err := busPowerSeries(s, p, maxProcs)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sr.Name = s.Name() + " (bus)"
-		ds.Series = append(ds.Series, sr)
-	}
-	for _, s := range schemes {
+		busSeries[i] = sr
 		pts, err := core.EvaluateNetwork(s, p, maxStages)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sr := plot.Series{Name: s.Name() + " (net)"}
+		netPoints[i] = pts
+		nr := plot.Series{Name: s.Name() + " (net)"}
 		for _, pt := range pts {
 			if pt.Processors > maxProcs {
 				break
 			}
-			sr.X = append(sr.X, float64(pt.Processors))
-			sr.Y = append(sr.Y, pt.Power)
+			nr.X = append(nr.X, float64(pt.Processors))
+			nr.Y = append(nr.Y, pt.Power)
 		}
-		ds.Series = append(ds.Series, sr)
+		netSeries[i] = nr
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	ds.Series = append(ds.Series, busSeries...)
+	ds.Series = append(ds.Series, netSeries...)
 	tab := &report.Table{Header: []string{"processors", "scheme", "bus power", "net power"}}
-	for _, s := range schemes {
-		busPts, err := core.EvaluateBus(s, p, core.BusCosts(), maxProcs)
+	for i, s := range schemes {
+		busPts, err := busEval.EvaluateBus(s, p, core.BusCosts(), maxProcs)
 		if err != nil {
 			return nil, err
 		}
-		netPts, err := core.EvaluateNetwork(s, p, maxStages)
-		if err != nil {
-			return nil, err
-		}
-		for _, np := range netPts {
+		for _, np := range netPoints[i] {
 			if np.Processors > maxProcs {
 				break
 			}

@@ -7,6 +7,7 @@ import (
 	"swcc/internal/measure"
 	"swcc/internal/report"
 	"swcc/internal/sim"
+	"swcc/internal/sweep"
 	"swcc/internal/tracegen"
 )
 
@@ -36,10 +37,17 @@ func runScenarios(opt Options) (*Dataset, error) {
 		ID:    "scenarios",
 		Title: fmt.Sprintf("Recommended coherence scheme per workload scenario (%d-processor bus)", nproc),
 	}
-	for _, scenario := range []string{"timeshare", "message", "pops", "pero"} {
+	// Scenarios are independent trace->measure->rank pipelines; run them
+	// in parallel into per-scenario row slots (output order is fixed by
+	// the slice, not the scheduler). Ranking goes through the shared
+	// cache-backed evaluator.
+	scenarios := []string{"timeshare", "message", "pops", "pero"}
+	rows := make([][]string, len(scenarios))
+	if err := sweep.Each(0, len(scenarios), func(i int) error {
+		scenario := scenarios[i]
 		cfg, err := tracegen.Preset(scenario)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg.InstrPerCPU = int(float64(cfg.InstrPerCPU) * opt.traceScale())
 		if cfg.InstrPerCPU < 2000 {
@@ -47,15 +55,15 @@ func runScenarios(opt Options) (*Dataset, error) {
 		}
 		tr, err := tracegen.Generate(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m, err := measure.Extract(tr, cache, 0.5)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ranked, err := core.RankBus(candidates, m.Params, core.BusCosts(), nproc)
+		ranked, err := core.RankBusWith(busEval, candidates, m.Params, core.BusCosts(), nproc)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		best := ranked[0]
 		var noCachePower float64
@@ -64,13 +72,19 @@ func runScenarios(opt Options) (*Dataset, error) {
 				noCachePower = r.Power
 			}
 		}
-		tab.AddRow(scenario,
+		rows[i] = []string{scenario,
 			fmt.Sprintf("%.3f", m.Params.Shd),
 			fmt.Sprintf("%.1f", m.Params.APL),
 			best.Scheme.Name(),
 			fmt.Sprintf("%.2f", best.Power),
 			fmt.Sprintf("%.2f", noCachePower),
-			fmt.Sprintf("%.0f%%", 100*noCachePower/best.Power))
+			fmt.Sprintf("%.0f%%", 100*noCachePower/best.Power)}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		tab.AddRow(r...)
 	}
 	ds.Table = tab
 	ds.Notes = append(ds.Notes,

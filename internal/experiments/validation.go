@@ -8,6 +8,7 @@ import (
 	"swcc/internal/plot"
 	"swcc/internal/report"
 	"swcc/internal/sim"
+	"swcc/internal/sweep"
 	"swcc/internal/trace"
 	"swcc/internal/tracegen"
 )
@@ -56,27 +57,41 @@ func validate(tr *trace.Trace, cache sim.CacheConfig, pairs []protoScheme) ([]pl
 	if err != nil {
 		return nil, nil, err
 	}
+	// The simulations dominate the cost and are independent across both
+	// the scheme and the machine size: flatten (pair, n) into one job
+	// grid and run it on all cores, writing each power into its own
+	// slot. The analytic side goes through the shared cache.
+	nsizes := tr.NCPU
+	simPowers := make([]float64, len(pairs)*nsizes)
+	if err := sweep.Each(0, len(simPowers), func(i int) error {
+		pr := pairs[i/nsizes]
+		n := i%nsizes + 1
+		sub := tr.Restrict(n)
+		res, err := sim.Run(sim.Config{
+			NCPU:       n,
+			Cache:      cache,
+			Protocol:   pr.proto,
+			WarmupRefs: len(sub.Refs) / 2,
+		}, sub)
+		if err != nil {
+			return err
+		}
+		simPowers[i] = res.Power()
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
 	var out []plot.Series
-	for _, pr := range pairs {
+	for pi, pr := range pairs {
 		simSeries := plot.Series{Name: pr.scheme.Name() + " sim"}
 		modelSeries := plot.Series{Name: pr.scheme.Name() + " model"}
-		modelPts, err := core.EvaluateBus(pr.scheme, m.Params, core.BusCosts(), tr.NCPU)
+		modelPts, err := busEval.EvaluateBus(pr.scheme, m.Params, core.BusCosts(), tr.NCPU)
 		if err != nil {
 			return nil, nil, err
 		}
 		for n := 1; n <= tr.NCPU; n++ {
-			sub := tr.Restrict(n)
-			res, err := sim.Run(sim.Config{
-				NCPU:       n,
-				Cache:      cache,
-				Protocol:   pr.proto,
-				WarmupRefs: len(sub.Refs) / 2,
-			}, sub)
-			if err != nil {
-				return nil, nil, err
-			}
 			simSeries.X = append(simSeries.X, float64(n))
-			simSeries.Y = append(simSeries.Y, res.Power())
+			simSeries.Y = append(simSeries.Y, simPowers[pi*nsizes+n-1])
 			modelSeries.X = append(modelSeries.X, float64(n))
 			modelSeries.Y = append(modelSeries.Y, modelPts[n-1].Power)
 		}

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"swcc/internal/core"
+	"swcc/internal/sweep"
 )
 
 // Cell is one (parameter, scheme) sensitivity result.
@@ -74,6 +75,15 @@ func abs(x float64) float64 {
 // Analyze runs the one-at-a-time low->high sweep for the given schemes on
 // a bus machine with nproc processors, using the Table 1 costs.
 func Analyze(schemes []core.Scheme, nproc int) (*Table, error) {
+	return AnalyzeWith(sweep.New(0), schemes, nproc)
+}
+
+// AnalyzeWith runs the sweep on the given engine: the full
+// (parameter x scheme x level) grid is evaluated on the engine's worker
+// pool, and its cache collapses the cells a scheme is insensitive to
+// (e.g. varying apl for Base solves once, not twice). Results are
+// bit-identical to a sequential uncached run.
+func AnalyzeWith(eng *sweep.Engine, schemes []core.Scheme, nproc int) (*Table, error) {
 	if nproc < 1 {
 		return nil, fmt.Errorf("sensitivity: nproc %d < 1", nproc)
 	}
@@ -86,26 +96,33 @@ func Analyze(schemes []core.Scheme, nproc int) (*Table, error) {
 	for _, s := range schemes {
 		tab.Schemes = append(tab.Schemes, s.Name())
 	}
-	for _, f := range core.Fields() {
+	fields := core.Fields()
+	// Grid layout: [field][scheme][low, high], flattened in that order so
+	// the first error reported matches the historical sequential loop.
+	points := make([]sweep.Point, 0, 2*len(fields)*len(schemes))
+	for _, f := range fields {
+		for _, s := range schemes {
+			for _, l := range []core.Level{core.Low, core.High} {
+				p, err := mid.WithLevel(f.Name, l)
+				if err != nil {
+					return nil, err
+				}
+				points = append(points, sweep.Point{Scheme: s, Params: p, NProc: nproc})
+			}
+		}
+	}
+	results := eng.EvaluateBus(points, costs)
+	if err := sweep.FirstError(results); err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, f := range fields {
 		tab.Params = append(tab.Params, f.Name)
 		row := map[string]Cell{}
 		for _, s := range schemes {
-			lowP, err := mid.WithLevel(f.Name, core.Low)
-			if err != nil {
-				return nil, err
-			}
-			highP, err := mid.WithLevel(f.Name, core.High)
-			if err != nil {
-				return nil, err
-			}
-			tLow, err := execTime(s, lowP, costs, nproc)
-			if err != nil {
-				return nil, err
-			}
-			tHigh, err := execTime(s, highP, costs, nproc)
-			if err != nil {
-				return nil, err
-			}
+			tLow := execTime(results[i].Bus)
+			tHigh := execTime(results[i+1].Bus)
+			i += 2
 			row[s.Name()] = Cell{
 				Param:         f.Name,
 				Scheme:        s.Name(),
@@ -120,11 +137,5 @@ func Analyze(schemes []core.Scheme, nproc int) (*Table, error) {
 }
 
 // execTime returns the mean cycles per instruction, contention included,
-// at nproc processors.
-func execTime(s core.Scheme, p core.Params, costs *core.CostTable, nproc int) (float64, error) {
-	pts, err := core.EvaluateBus(s, p, costs, nproc)
-	if err != nil {
-		return 0, err
-	}
-	return 1 / pts[nproc-1].Utilization, nil
-}
+// from the bus point at the analyzed machine size.
+func execTime(pt core.BusPoint) float64 { return 1 / pt.Utilization }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"swcc/internal/core"
+	"swcc/internal/sweep"
 )
 
 func analyzeAll(t *testing.T, nproc int) *Table {
@@ -134,4 +135,37 @@ func names(cells []Cell) []string {
 		out[i] = c.Param
 	}
 	return out
+}
+
+// TestAnalyzeWithEngineVariantsIdentical checks every engine
+// configuration — sequential, parallel, cached, uncached — produces a
+// bit-identical table: parallelism and memoization must never change
+// the numbers.
+func TestAnalyzeWithEngineVariantsIdentical(t *testing.T) {
+	schemes := core.PaperSchemes()
+	base, err := AnalyzeWith(&sweep.Engine{Workers: 1}, schemes, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := map[string]*sweep.Engine{
+		"parallel-uncached": {Workers: 8},
+		"parallel-cached":   sweep.New(8),
+		"sequential-cached": sweep.New(1),
+		"default":           sweep.New(0),
+	}
+	for name, eng := range engines {
+		tab, err := AnalyzeWith(eng, schemes, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, param := range base.Params {
+			for _, scheme := range base.Schemes {
+				want, _ := base.Cell(param, scheme)
+				got, ok := tab.Cell(param, scheme)
+				if !ok || got != want {
+					t.Errorf("%s: cell %s/%s = %+v, want %+v", name, param, scheme, got, want)
+				}
+			}
+		}
+	}
 }

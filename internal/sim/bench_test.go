@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+
+	"swcc/internal/trace"
+	"swcc/internal/tracegen"
+)
+
+func benchTrace(b *testing.B, instr int) *trace.Trace {
+	b.Helper()
+	cfg, err := tracegen.Preset("pops")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.InstrPerCPU = instr
+	tr, err := tracegen.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkSimHotLoop drives the engine's per-record path (protocol
+// dispatch, cost application, cache access) with each protocol; the
+// allocs/op figure guards the hot loop against regressing into
+// per-access allocation.
+func BenchmarkSimHotLoop(b *testing.B) {
+	tr := benchTrace(b, 20_000)
+	cache := CacheConfig{Size: 64 * 1024, BlockSize: 16, Assoc: 2}
+	for _, proto := range []Protocol{ProtoBase, ProtoDragon, ProtoNoCache, ProtoSoftwareFlush} {
+		b.Run(proto.String(), func(b *testing.B) {
+			cfg := Config{NCPU: tr.NCPU, Cache: cache, Protocol: proto}
+			b.ReportAllocs()
+			b.SetBytes(int64(len(tr.Refs)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTraceRestrict covers the counting-pass preallocation in
+// trace.Restrict, which the parallel validation experiments call once
+// per (scheme, machine size) job.
+func BenchmarkTraceRestrict(b *testing.B) {
+	tr := benchTrace(b, 20_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sub := tr.Restrict(2); len(sub.Refs) == 0 {
+			b.Fatal("empty restriction")
+		}
+	}
+}

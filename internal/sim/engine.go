@@ -21,20 +21,26 @@ const (
 	ProtoWriteInvalidate
 )
 
-var protoNames = map[Protocol]string{
-	ProtoBase:            "Base",
-	ProtoDragon:          "Dragon",
-	ProtoNoCache:         "No-Cache",
-	ProtoSoftwareFlush:   "Software-Flush",
-	ProtoWriteInvalidate: "Write-Invalidate",
-}
-
 // String returns the protocol name.
 func (p Protocol) String() string {
-	if n, ok := protoNames[p]; ok {
-		return n
+	switch p {
+	case ProtoBase:
+		return "Base"
+	case ProtoDragon:
+		return "Dragon"
+	case ProtoNoCache:
+		return "No-Cache"
+	case ProtoSoftwareFlush:
+		return "Software-Flush"
+	case ProtoWriteInvalidate:
+		return "Write-Invalidate"
 	}
 	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// valid reports whether p is a known protocol.
+func (p Protocol) valid() bool {
+	return p >= ProtoBase && p <= ProtoWriteInvalidate
 }
 
 // ProtocolByName resolves a protocol name (case-sensitive short forms:
@@ -239,6 +245,31 @@ type engine struct {
 	clocks []uint64
 	stats  []CPUStats
 	snoop  SnoopStats
+
+	// Hot-loop precomputation: the protocol tests and float->cycle cost
+	// conversions run once per trace record, so they are resolved once
+	// here instead of per access.
+	snoopy, dragon, wi, nocache, swflush bool
+	opCPU, opIC                          []uint64 // indexed by core.Op
+	stealCycles                          uint64
+}
+
+// prepare fills the precomputed fields from cfg and the cost table.
+func (e *engine) prepare() {
+	e.dragon = e.cfg.Protocol == ProtoDragon
+	e.wi = e.cfg.Protocol == ProtoWriteInvalidate
+	e.nocache = e.cfg.Protocol == ProtoNoCache
+	e.swflush = e.cfg.Protocol == ProtoSoftwareFlush
+	e.snoopy = e.dragon || e.wi
+	ops := core.Ops()
+	e.opCPU = make([]uint64, len(ops))
+	e.opIC = make([]uint64, len(ops))
+	for _, op := range ops {
+		c := e.costs.Cost(op)
+		e.opCPU[op] = uint64(c.CPU)
+		e.opIC[op] = uint64(c.Interconnect)
+	}
+	e.stealCycles = e.opCPU[core.OpCycleSteal]
 }
 
 // Run simulates the trace under the configuration and returns the result.
@@ -252,7 +283,7 @@ func Run(cfg Config, t *trace.Trace) (*Result, error) {
 	if cfg.NCPU < t.NCPU {
 		return nil, fmt.Errorf("%w: config ncpu %d < trace ncpu %d", ErrBadConfig, cfg.NCPU, t.NCPU)
 	}
-	if _, ok := protoNames[cfg.Protocol]; !ok {
+	if !cfg.Protocol.valid() {
 		return nil, fmt.Errorf("%w: unknown protocol %d", ErrBadConfig, int(cfg.Protocol))
 	}
 	e := &engine{
@@ -285,6 +316,7 @@ func Run(cfg Config, t *trace.Trace) (*Result, error) {
 		}
 		e.caches[i] = c
 	}
+	e.prepare()
 
 	if cfg.WarmupRefs < 0 || (cfg.WarmupRefs > 0 && cfg.WarmupRefs >= len(t.Refs)) {
 		return nil, fmt.Errorf("%w: warmup %d out of range for %d records", ErrBadConfig, cfg.WarmupRefs, len(t.Refs))
@@ -384,15 +416,14 @@ func subtractSnoop(a, b SnoopStats) SnoopStats {
 // arbitration first, then the operation's full CPU time. addr routes the
 // transaction on a multistage network (unused on a bus).
 func (e *engine) applyOp(cpu int, op core.Op, addr uint64) {
-	cost := e.costs.Cost(op)
 	now := e.clocks[cpu]
-	if cost.Interconnect > 0 {
-		grant := e.ic.acquire(cpu, addr, now, uint64(cost.Interconnect))
+	if ic := e.opIC[op]; ic > 0 {
+		grant := e.ic.acquire(cpu, addr, now, ic)
 		wait := grant - now
 		e.stats[cpu].BusWait += wait
 		now = grant
 	}
-	e.clocks[cpu] = now + uint64(cost.CPU)
+	e.clocks[cpu] = now + e.opCPU[op]
 }
 
 // othersHolding scans the other caches for the block, returning whether
@@ -434,7 +465,7 @@ func (e *engine) step(cpu int, ref trace.Ref) {
 
 // dataRef handles a load or store.
 func (e *engine) dataRef(cpu int, ref trace.Ref, write bool) {
-	if e.cfg.Protocol == ProtoNoCache && ref.Shared {
+	if e.nocache && ref.Shared {
 		// Shared data is uncacheable: go straight to memory.
 		if write {
 			e.stats[cpu].WriteThroughs++
@@ -453,7 +484,7 @@ func (e *engine) access(cpu int, ref trace.Ref, write bool) {
 	cache := e.caches[cpu]
 	block := cache.BlockOf(ref.Addr)
 	isData := ref.Kind.IsData()
-	snoopy := e.cfg.Protocol == ProtoDragon || e.cfg.Protocol == ProtoWriteInvalidate
+	snoopy := e.snoopy
 
 	var present bool
 	var holders, dirtyAt int
@@ -472,7 +503,7 @@ func (e *engine) access(cpu int, ref trace.Ref, write bool) {
 	// so neither the writer's line nor the holders' stay dirty;
 	// dirtiness only accumulates while a cache is the sole holder.
 	markDirty := write
-	if e.cfg.Protocol == ProtoDragon && write && present {
+	if e.dragon && write && present {
 		markDirty = false
 	}
 
@@ -519,7 +550,7 @@ func (e *engine) access(cpu int, ref trace.Ref, write bool) {
 		// Supplying the block updates memory; the supplier's copy
 		// becomes clean (Dragon), or is invalidated outright under
 		// Write-Invalidate stores.
-		if e.cfg.Protocol == ProtoWriteInvalidate && write {
+		if e.wi && write {
 			e.caches[dirtyAt].Invalidate(block)
 		} else {
 			e.caches[dirtyAt].MarkClean(block)
@@ -544,7 +575,7 @@ func (e *engine) broadcast(cpu int, block uint64, holders int) {
 		if c == cpu || !cache.Present(block) {
 			continue
 		}
-		if e.cfg.Protocol == ProtoWriteInvalidate {
+		if e.wi {
 			cache.Invalidate(block)
 			continue
 		}
@@ -552,16 +583,15 @@ func (e *engine) broadcast(cpu int, block uint64, holders int) {
 		// cycle from its processor; the update also supersedes any
 		// stale ownership, so a previously dirty copy becomes clean.
 		cache.MarkClean(block)
-		steal := e.costs.Cost(core.OpCycleSteal)
-		e.clocks[c] += uint64(steal.CPU)
-		e.stats[c].StolenCycles += uint64(steal.CPU)
+		e.clocks[c] += e.stealCycles
+		e.stats[c].StolenCycles += e.stealCycles
 	}
 }
 
 // flush executes a flush instruction (Software-Flush only; other
 // protocols ignore flush records so the same trace can drive them all).
 func (e *engine) flush(cpu int, ref trace.Ref) {
-	if e.cfg.Protocol != ProtoSoftwareFlush {
+	if !e.swflush {
 		return
 	}
 	e.stats[cpu].Flushes++

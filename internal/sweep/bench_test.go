@@ -1,0 +1,125 @@
+package sweep
+
+import (
+	"testing"
+	"time"
+
+	"swcc/internal/core"
+)
+
+// benchGrid is a Table 8-scale sensitivity grid made heavy enough to
+// measure: every (parameter, scheme, low/high) cell at 256 processors,
+// the paper's large-machine regime.
+func benchGrid() []Point {
+	mid := core.MiddleParams()
+	var points []Point
+	for _, f := range core.Fields() {
+		for _, s := range core.PaperSchemes() {
+			for _, l := range []core.Level{core.Low, core.High} {
+				p, err := mid.WithLevel(f.Name, l)
+				if err != nil {
+					panic(err)
+				}
+				points = append(points, Point{Scheme: s, Params: p, NProc: 256})
+			}
+		}
+	}
+	return points
+}
+
+// sequentialBaseline times one sequential uncached pass over the grid,
+// the reference the speedup metric compares against.
+func sequentialBaseline(points []Point, costs *core.CostTable) time.Duration {
+	eng := &Engine{Workers: 1}
+	start := time.Now()
+	if err := FirstError(eng.EvaluateBus(points, costs)); err != nil {
+		panic(err)
+	}
+	return time.Since(start)
+}
+
+func benchmarkSweep(b *testing.B, mkEngine func() *Engine) {
+	points := benchGrid()
+	costs := core.BusCosts()
+	ref := sequentialBaseline(points, costs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		eng := mkEngine()
+		if err := FirstError(eng.EvaluateBus(points, costs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	perIter := elapsed / time.Duration(b.N)
+	if perIter > 0 {
+		// speedup vs one sequential uncached pass over the same grid;
+		// > 1 means the configuration beats the pre-sweep code path.
+		b.ReportMetric(float64(ref)/float64(perIter), "speedup")
+	}
+	b.ReportMetric(float64(len(points)), "points")
+}
+
+// BenchmarkSweepSequentialUncached is the pre-engine baseline (speedup
+// metric should sit near 1.0).
+func BenchmarkSweepSequentialUncached(b *testing.B) {
+	benchmarkSweep(b, func() *Engine { return &Engine{Workers: 1} })
+}
+
+// BenchmarkSweepParallelUncached isolates the worker-pool gain; the
+// speedup metric approaches the core count on a multi-core runner.
+func BenchmarkSweepParallelUncached(b *testing.B) {
+	benchmarkSweep(b, func() *Engine { return &Engine{Workers: 0} })
+}
+
+// BenchmarkSweepParallelCached is the shipped configuration: worker pool
+// plus a fresh memo cache per grid evaluation.
+func BenchmarkSweepParallelCached(b *testing.B) {
+	benchmarkSweep(b, func() *Engine { return New(0) })
+}
+
+// BenchmarkSweepWarmCache measures the steady state the experiments
+// registry sees: the cache already holds the whole grid, so every point
+// is two map hits.
+func BenchmarkSweepWarmCache(b *testing.B) {
+	points := benchGrid()
+	costs := core.BusCosts()
+	ref := sequentialBaseline(points, costs)
+	eng := New(0)
+	if err := FirstError(eng.EvaluateBus(points, costs)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if err := FirstError(eng.EvaluateBus(points, costs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	perIter := elapsed / time.Duration(b.N)
+	if perIter > 0 {
+		b.ReportMetric(float64(ref)/float64(perIter), "speedup")
+	}
+}
+
+// BenchmarkEvaluatorBusPoint measures the single-point query path the
+// bisections hit (cold cache per iteration batch is irrelevant here —
+// steady-state hits dominate real usage).
+func BenchmarkEvaluatorBusPoint(b *testing.B) {
+	ev := NewEvaluator()
+	p := core.MiddleParams()
+	costs := core.BusCosts()
+	if _, err := ev.BusPoint(core.SoftwareFlush{}, p, costs, 64); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.BusPoint(core.SoftwareFlush{}, p, costs, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

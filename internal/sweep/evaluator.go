@@ -1,0 +1,206 @@
+// Package sweep is the repo's batched, parallel evaluation layer for the
+// analytical model: a worker-pool engine that evaluates grids of
+// (scheme, workload, machine-size) points deterministically, and a
+// memoizing evaluator that deduplicates the ComputeDemand and
+// SingleServerMVA solves underneath repeated model queries (sensitivity
+// tables, bisections, advisor rankings, parameter sweeps).
+//
+// Determinism: every solve is a pure function of its inputs, results are
+// written into caller-indexed slots, and cache hits return values the
+// same code path produced on the miss — so parallel and cached runs are
+// bit-identical to sequential fresh runs regardless of scheduling.
+package sweep
+
+import (
+	"fmt"
+	"sync"
+
+	"swcc/internal/core"
+	"swcc/internal/queueing"
+)
+
+// Stats counts the evaluator's cache traffic. A "solve" is one real
+// ComputeDemand or one SingleServerMVA recursion; hits served from memory
+// are counted separately.
+type Stats struct {
+	// DemandSolves and DemandHits count ComputeDemand evaluations and
+	// cache hits.
+	DemandSolves, DemandHits uint64
+	// MVASolves and MVAHits count SingleServerMVA recursions and curve
+	// cache hits.
+	MVASolves, MVAHits uint64
+}
+
+// demandKey identifies one demand solve: the scheme (including any
+// configuration carried in its Stringer form, e.g. Hybrid's lock
+// fraction), the workload canonicalized to the parameters the scheme
+// actually reads, and the cost table's content fingerprint.
+type demandKey struct {
+	scheme string
+	params core.Params
+	table  string
+}
+
+// mvaKey identifies a single-server MVA curve by its two real inputs.
+type mvaKey struct {
+	think, service float64
+}
+
+// Evaluator memoizes demand and MVA solves. It is safe for concurrent
+// use; the zero value is not ready — construct with NewEvaluator.
+type Evaluator struct {
+	mu      sync.Mutex
+	demands map[demandKey]core.Demand
+	curves  map[mvaKey][]queueing.SingleServerResult
+	tables  map[*core.CostTable]string // fingerprint memo, keyed by pointer
+	stats   Stats
+}
+
+// NewEvaluator returns an empty cache.
+func NewEvaluator() *Evaluator {
+	return &Evaluator{
+		demands: map[demandKey]core.Demand{},
+		curves:  map[mvaKey][]queueing.SingleServerResult{},
+		tables:  map[*core.CostTable]string{},
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (ev *Evaluator) Stats() Stats {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	return ev.stats
+}
+
+// schemeKey distinguishes schemes in the cache. Configured schemes
+// (Hybrid) expose their configuration through String, which must be used
+// instead of the bare Name so two differently configured instances never
+// share an entry.
+func schemeKey(s core.Scheme) string {
+	if str, ok := s.(fmt.Stringer); ok {
+		return str.String()
+	}
+	return s.Name()
+}
+
+// fingerprint returns a content key for the cost table, memoized by
+// pointer (tables are immutable after construction). Content-based keying
+// means two identical tables built by separate BusCosts() calls share
+// cache entries.
+func (ev *Evaluator) fingerprint(costs *core.CostTable) string {
+	if fp, ok := ev.tables[costs]; ok {
+		return fp
+	}
+	fp := costs.Name
+	for _, op := range core.Ops() {
+		if !costs.Defines(op) {
+			continue
+		}
+		c := costs.Cost(op)
+		fp += fmt.Sprintf("|%d:%x:%x", int(op), c.CPU, c.Interconnect)
+	}
+	ev.tables[costs] = fp
+	return fp
+}
+
+// Demand is a memoized core.ComputeDemand. The workload is validated
+// first (mirroring ComputeDemand's own order) so an invalid Params always
+// errors even when a canonically equal valid workload is already cached.
+// Error results are not cached.
+func (ev *Evaluator) Demand(s core.Scheme, p core.Params, costs *core.CostTable) (core.Demand, error) {
+	if err := p.Validate(); err != nil {
+		return core.Demand{}, fmt.Errorf("%s: %w", s.Name(), err)
+	}
+	ev.mu.Lock()
+	key := demandKey{schemeKey(s), core.CanonicalParams(s, p), ev.fingerprint(costs)}
+	if d, ok := ev.demands[key]; ok {
+		ev.stats.DemandHits++
+		ev.mu.Unlock()
+		return d, nil
+	}
+	ev.mu.Unlock()
+
+	d, err := core.ComputeDemand(s, p, costs)
+	if err != nil {
+		return core.Demand{}, err
+	}
+	ev.mu.Lock()
+	ev.stats.DemandSolves++
+	ev.demands[key] = d
+	ev.mu.Unlock()
+	return d, nil
+}
+
+// curve returns the MVA results for populations 1..n, reusing (a prefix
+// of) a previously solved curve for the same (think, service) when long
+// enough. The MVA recursion computes 1..n in one pass, so a longer curve's
+// prefix is bit-identical to a shorter solve.
+func (ev *Evaluator) curve(d core.Demand, n int) ([]queueing.SingleServerResult, error) {
+	key := mvaKey{d.Think(), d.Interconnect}
+	ev.mu.Lock()
+	if c, ok := ev.curves[key]; ok && len(c) >= n {
+		ev.stats.MVAHits++
+		ev.mu.Unlock()
+		return c[:n], nil
+	}
+	ev.mu.Unlock()
+
+	c, err := queueing.SingleServerMVA(d.Think(), d.Interconnect, n)
+	if err != nil {
+		return nil, err
+	}
+	ev.mu.Lock()
+	ev.stats.MVASolves++
+	if prev, ok := ev.curves[key]; !ok || len(prev) < len(c) {
+		ev.curves[key] = c
+	}
+	ev.mu.Unlock()
+	return c, nil
+}
+
+// EvaluateBus is a memoized core.EvaluateBus: identical results, served
+// from the demand and curve caches when possible.
+func (ev *Evaluator) EvaluateBus(s core.Scheme, p core.Params, costs *core.CostTable, maxProcs int) ([]core.BusPoint, error) {
+	if maxProcs < 1 {
+		return nil, fmt.Errorf("core: maxProcs %d < 1", maxProcs)
+	}
+	d, err := ev.Demand(s, p, costs)
+	if err != nil {
+		return nil, err
+	}
+	mva, err := ev.curve(d, maxProcs)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]core.BusPoint, maxProcs)
+	for i, r := range mva {
+		points[i] = core.BusPointFromMVA(d, r)
+	}
+	return points, nil
+}
+
+// BusPoint returns the bus-model prediction at exactly nproc processors.
+func (ev *Evaluator) BusPoint(s core.Scheme, p core.Params, costs *core.CostTable, nproc int) (core.BusPoint, error) {
+	if nproc < 1 {
+		return core.BusPoint{}, fmt.Errorf("core: maxProcs %d < 1", nproc)
+	}
+	d, err := ev.Demand(s, p, costs)
+	if err != nil {
+		return core.BusPoint{}, err
+	}
+	mva, err := ev.curve(d, nproc)
+	if err != nil {
+		return core.BusPoint{}, err
+	}
+	return core.BusPointFromMVA(d, mva[nproc-1]), nil
+}
+
+// BusPower implements core.PowerEvaluator, so the evaluator plugs
+// directly into APLToMatchWith, MaxShdForPowerWith, and RankBusWith.
+func (ev *Evaluator) BusPower(s core.Scheme, p core.Params, costs *core.CostTable, nproc int) (float64, error) {
+	pt, err := ev.BusPoint(s, p, costs, nproc)
+	if err != nil {
+		return 0, err
+	}
+	return pt.Power, nil
+}

@@ -1,0 +1,140 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"swcc/internal/core"
+)
+
+// Point is one cell of an evaluation grid: a scheme, a workload, and a
+// machine size.
+type Point struct {
+	Scheme core.Scheme
+	Params core.Params
+	NProc  int
+}
+
+// Result pairs a Point with its bus-model solution at exactly
+// Point.NProc processors. On error Bus is zero and Err explains.
+type Result struct {
+	Point Point
+	Bus   core.BusPoint
+	Err   error
+}
+
+// Engine evaluates grids on a worker pool with an optional shared memo
+// cache. The zero value runs sequentially and uncached; New returns the
+// usual configuration (all cores, fresh cache).
+type Engine struct {
+	// Workers is the pool size; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache memoizes demand and MVA solves across grid cells and
+	// engine calls. nil disables memoization (every cell solves fresh).
+	Cache *Evaluator
+}
+
+// New returns an engine with the given pool size (<= 0 = all cores) and a
+// fresh shared cache.
+func New(workers int) *Engine {
+	return &Engine{Workers: workers, Cache: NewEvaluator()}
+}
+
+func (e *Engine) workers() int {
+	if e == nil || e.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.Workers
+}
+
+// EvaluateBus solves every grid point on the worker pool and returns the
+// results in input order. Scheduling never affects the output: each
+// worker writes only its own slots and every solve is a pure function of
+// the point, so the result slice is bit-identical to a sequential run.
+func (e *Engine) EvaluateBus(points []Point, costs *core.CostTable) []Result {
+	results := make([]Result, len(points))
+	workers := 1
+	var cache *Evaluator
+	if e != nil {
+		workers = e.workers()
+		cache = e.Cache
+	}
+	Each(workers, len(points), func(i int) error {
+		pt := points[i]
+		results[i].Point = pt
+		if cache != nil {
+			results[i].Bus, results[i].Err = cache.BusPoint(pt.Scheme, pt.Params, costs, pt.NProc)
+			return nil
+		}
+		bus, err := core.EvaluateBus(pt.Scheme, pt.Params, costs, pt.NProc)
+		if err != nil {
+			results[i].Err = err
+			return nil
+		}
+		results[i].Bus = bus[pt.NProc-1]
+		return nil
+	})
+	return results
+}
+
+// FirstError returns the error of the lowest-index failed result, or nil.
+func FirstError(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// Each runs fn(i) for every i in [0, n) on up to `workers` goroutines
+// (<= 0 = all cores) and returns the lowest-index error, or nil. Every
+// index runs regardless of failures elsewhere. With one worker the
+// indices run sequentially in order on the calling goroutine, so a
+// single-core Each has no scheduling overhead at all; either way the
+// per-index effects and the returned error are scheduling-independent as
+// long as fn(i) only writes state owned by index i.
+func Each(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -89,8 +89,19 @@ func (t *Trace) Validate() error {
 func (t *Trace) Len() int { return len(t.Refs) }
 
 // PerCPU splits the trace into per-processor streams, preserving order.
+// A counting pass sizes each stream exactly, so the split allocates one
+// slice per processor instead of growing them by repeated doubling.
 func (t *Trace) PerCPU() [][]Ref {
+	counts := make([]int, t.NCPU)
+	for _, r := range t.Refs {
+		if int(r.CPU) < t.NCPU {
+			counts[r.CPU]++
+		}
+	}
 	out := make([][]Ref, t.NCPU)
+	for c, n := range counts {
+		out[c] = make([]Ref, 0, n)
+	}
 	for _, r := range t.Refs {
 		if int(r.CPU) < t.NCPU {
 			out[r.CPU] = append(out[r.CPU], r)
@@ -107,7 +118,13 @@ func (t *Trace) Restrict(ncpu int) *Trace {
 	if ncpu >= t.NCPU {
 		return t
 	}
-	out := &Trace{NCPU: ncpu}
+	n := 0
+	for _, r := range t.Refs {
+		if int(r.CPU) < ncpu {
+			n++
+		}
+	}
+	out := &Trace{NCPU: ncpu, Refs: make([]Ref, 0, n)}
 	for _, r := range t.Refs {
 		if int(r.CPU) < ncpu {
 			out.Refs = append(out.Refs, r)
