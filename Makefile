@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-short check artifacts examples golden cover clean
+.PHONY: all build test vet race bench bench-short check serve smoke artifacts examples golden cover clean
 
 all: build vet test
 
@@ -34,6 +34,28 @@ bench-short:
 
 # The pre-merge gate: vet plus the race-enabled test run.
 check: vet race
+
+# Run the model-serving daemon in the foreground.
+COHERED_ADDR ?= 127.0.0.1:8080
+serve:
+	$(GO) run ./cmd/cohered -addr $(COHERED_ADDR)
+
+# End-to-end smoke test: build the daemon, start it on an ephemeral-ish
+# port, hit /healthz and one /v1/bus query, then shut it down (SIGTERM
+# exercises the graceful-shutdown path).
+SMOKE_ADDR ?= 127.0.0.1:18080
+smoke:
+	@$(GO) build -o /tmp/cohered.smoke ./cmd/cohered
+	@/tmp/cohered.smoke -addr $(SMOKE_ADDR) -quiet & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://$(SMOKE_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	curl -sf http://$(SMOKE_ADDR)/healthz || { echo "smoke: healthz failed"; exit 1; }; \
+	curl -sf -X POST -d '{"scheme": "dragon", "procs": 8}' http://$(SMOKE_ADDR)/v1/bus \
+		| grep -q '"Power"' || { echo "smoke: /v1/bus failed"; exit 1; }; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "smoke: ok"
 
 # Regenerate every table and figure into artifacts/ (.txt, .csv, .json).
 artifacts:

@@ -1,0 +1,120 @@
+// Command cohered is the long-running model-serving daemon: an HTTP JSON
+// API over the analytical coherence model, backed by one shared memoizing
+// evaluator so repeated queries are served from cache.
+//
+// Usage:
+//
+//	cohered [-addr :8080] [-timeout 10s] [-max-inflight N]
+//	        [-max-body BYTES] [-max-procs N] [-max-stages N] [-quiet]
+//
+// Endpoints (see internal/serve):
+//
+//	GET  /healthz         liveness + cache snapshot
+//	GET  /metrics         Prometheus text format
+//	POST /v1/bus          bus-model curve or single point
+//	POST /v1/network      multistage-network point
+//	POST /v1/advisor      scheme rankings for a workload
+//	POST /v1/sensitivity  parameter sensitivity table
+//
+// The daemon logs JSON lines to stderr and shuts down gracefully on
+// SIGINT/SIGTERM: the listener closes immediately, in-flight requests get
+// a grace period to finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"swcc/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "cohered:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled or the server
+// fails. onReady, when non-nil, receives the bound address once the
+// listener is open (tests use it with -addr 127.0.0.1:0).
+func run(ctx context.Context, args []string, stderr io.Writer, onReady func(net.Addr)) error {
+	fs := flag.NewFlagSet("cohered", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request model-work budget")
+	maxInFlight := fs.Int("max-inflight", 0, "concurrent model solves (0 = 4x GOMAXPROCS)")
+	maxBody := fs.Int64("max-body", 1<<20, "request body cap in bytes")
+	maxProcs := fs.Int("max-procs", 4096, "largest servable bus machine")
+	maxStages := fs.Int("max-stages", 20, "largest servable network (2^stages processors)")
+	grace := fs.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
+	quiet := fs.Bool("quiet", false, "suppress per-request access logs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	level := slog.LevelInfo
+	if *quiet {
+		level = slog.LevelWarn
+	}
+	logger := slog.New(slog.NewJSONHandler(stderr, &slog.HandlerOptions{Level: level}))
+
+	srv := serve.NewServer(serve.Config{
+		RequestTimeout: *timeout,
+		MaxInFlight:    *maxInFlight,
+		MaxBodyBytes:   *maxBody,
+		MaxProcs:       *maxProcs,
+		MaxStages:      *maxStages,
+		Logger:         logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		// Read/write budgets comfortably above the model-work timeout so
+		// the request deadline, not the socket, decides the error path.
+		ReadTimeout:  *timeout + 5*time.Second,
+		WriteTimeout: *timeout + 5*time.Second,
+	}
+	logger.Warn("cohered listening", "addr", ln.Addr().String())
+	if onReady != nil {
+		onReady(ln.Addr())
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Warn("cohered shutting down", "grace", grace.String())
+	shCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

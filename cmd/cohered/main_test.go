@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDaemonLifecycle boots the daemon on an ephemeral port, queries
+// /healthz and /v1/bus, then cancels the run context (the signal path)
+// and checks it shuts down cleanly.
+func TestDaemonLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrc := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-quiet"}, io.Discard,
+			func(a net.Addr) { addrc <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrc:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz: status %d body %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post(base+"/v1/bus", "application/json",
+		strings.NewReader(`{"scheme": "dragon", "procs": 4}`))
+	if err != nil {
+		t.Fatalf("bus query: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"Dragon"`) {
+		t.Fatalf("bus query: status %d body %s", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestBadFlags checks flag errors surface instead of starting a server.
+func TestBadFlags(t *testing.T) {
+	err := run(context.Background(), []string{"-addr"}, io.Discard, nil)
+	if err == nil {
+		t.Error("missing flag value accepted")
+	}
+	err = run(context.Background(), []string{"positional"}, io.Discard, nil)
+	if err == nil || !strings.Contains(err.Error(), "unexpected arguments") {
+		t.Errorf("positional args accepted: %v", err)
+	}
+}

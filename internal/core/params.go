@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrInvalidParams reports workload parameters outside their domain.
@@ -47,9 +48,21 @@ type Params struct {
 	NShd float64
 }
 
-// Validate checks every field against its domain.
+// Validate checks every field against its domain. NaN and ±Inf are
+// rejected everywhere: comparisons against NaN are always false, so a
+// naive range check would wave a NaN workload through into the solvers
+// (and into cache keys, where NaN != NaN breaks lookup identity).
 func (p Params) Validate() error {
+	finite := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: %s = %v is not finite", ErrInvalidParams, name, v)
+		}
+		return nil
+	}
 	check := func(name string, v float64) error {
+		if err := finite(name, v); err != nil {
+			return err
+		}
 		if v < 0 || v > 1 {
 			return fmt.Errorf("%w: %s = %g not in [0,1]", ErrInvalidParams, name, v)
 		}
@@ -67,8 +80,14 @@ func (p Params) Validate() error {
 			return err
 		}
 	}
+	if err := finite("apl", p.APL); err != nil {
+		return err
+	}
 	if p.APL < 1 {
 		return fmt.Errorf("%w: apl = %g < 1", ErrInvalidParams, p.APL)
+	}
+	if err := finite("nshd", p.NShd); err != nil {
+		return err
 	}
 	if p.NShd < 0 {
 		return fmt.Errorf("%w: nshd = %g < 0", ErrInvalidParams, p.NShd)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -130,6 +131,22 @@ func TestValidateRejectsBadParams(t *testing.T) {
 	for i, p := range cases {
 		if err := p.Validate(); !errors.Is(err, ErrInvalidParams) {
 			t.Errorf("case %d: want ErrInvalidParams, got %v", i, err)
+		}
+	}
+}
+
+// TestValidateRejectsNonFinite pins the NaN/Inf hardening: NaN compares
+// false against every bound, so the plain range checks alone would accept
+// it in any field, and +Inf satisfies apl >= 1 and nshd >= 0.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	for _, f := range Fields() {
+		for _, v := range []float64{nan, math.Inf(1), math.Inf(-1)} {
+			p := MiddleParams()
+			f.Set(&p, v)
+			if err := p.Validate(); !errors.Is(err, ErrInvalidParams) {
+				t.Errorf("%s = %v: want ErrInvalidParams, got %v", f.Name, v, err)
+			}
 		}
 	}
 }

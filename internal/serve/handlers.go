@@ -1,0 +1,480 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"swcc/internal/core"
+	"swcc/internal/sensitivity"
+	"swcc/internal/sweep"
+)
+
+// httpError carries an explicit status code through the handler plumbing.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// apiFunc is one decoded-and-solved endpoint; the apiHandler wrapper owns
+// body limits, the timeout budget, and error mapping.
+type apiFunc func(ctx context.Context, body []byte) (any, error)
+
+// apiHandler adapts an apiFunc to http: it caps and reads the body,
+// attaches the request timeout, and renders the result or the mapped
+// error as JSON.
+func (s *Server) apiHandler(fn apiFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				s.writeError(w, &httpError{
+					code: http.StatusRequestEntityTooLarge,
+					msg:  fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+				})
+				return
+			}
+			s.writeError(w, badRequest("reading body: %v", err))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		v, err := fn(ctx, body)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, v)
+	}
+}
+
+// writeError maps an error to its status code and renders it. Model
+// domain errors are client errors: invalid workloads are 400s and
+// scheme/hardware mismatches 422s; only genuinely unexpected failures
+// surface as 500.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		code = he.code
+	case errors.Is(err, errBusy):
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, core.ErrInvalidParams):
+		code = http.StatusBadRequest
+	case errors.Is(err, core.ErrUnsupported):
+		code = http.StatusUnprocessableEntity
+	}
+	s.writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Responses are plain data structs; failing to marshal one is a
+		// programming error, not a client error.
+		code = http.StatusInternalServerError
+		data = []byte(`{"error":"encoding response"}`)
+		s.log.Error("marshal response", "err", err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		s.log.Debug("write response", "err", err)
+	}
+}
+
+// decodeStrict decodes one JSON object, rejecting unknown fields and
+// trailing garbage. Strictness at the boundary is what turns typos
+// ("prox": 32) into 400s instead of silently-defaulted wrong answers.
+func decodeStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("decoding request: %v", err)
+	}
+	if dec.More() {
+		return badRequest("decoding request: trailing data after JSON object")
+	}
+	return nil
+}
+
+// resolveParams turns the request's workload spec into a validated
+// core.Params. `params` reuses core.ReadParams, so field names, unknown
+// field rejection, Table 7 middle defaults for omitted fields, and
+// domain validation (including the NaN/Inf checks) are exactly the
+// library's; `level` selects a whole Table 7 column instead.
+func resolveParams(level string, params json.RawMessage) (core.Params, error) {
+	if level != "" && len(params) > 0 {
+		return core.Params{}, badRequest(`"level" and "params" are mutually exclusive`)
+	}
+	switch level {
+	case "":
+	case "low":
+		return core.ParamsAt(core.Low), nil
+	case "mid":
+		return core.ParamsAt(core.Mid), nil
+	case "high":
+		return core.ParamsAt(core.High), nil
+	default:
+		return core.Params{}, badRequest("unknown level %q (want low, mid, or high)", level)
+	}
+	if len(params) == 0 {
+		return core.MiddleParams(), nil
+	}
+	p, err := core.ReadParams(bytes.NewReader(params))
+	if err != nil {
+		return core.Params{}, badRequest("%v", err)
+	}
+	return p, nil
+}
+
+// defaultLockFrac mirrors the advisor CLI's hybrid configuration.
+const defaultLockFrac = 0.3
+
+// resolveScheme resolves a request's scheme name, with "hybrid"
+// accepting an optional lock fraction.
+func resolveScheme(name string, lockFrac *float64) (core.Scheme, error) {
+	lf := defaultLockFrac
+	if lockFrac != nil {
+		lf = *lockFrac
+		if math.IsNaN(lf) || lf < 0 || lf > 1 {
+			return nil, badRequest("lockfrac %v not in [0,1]", lf)
+		}
+	}
+	if name == "hybrid" || name == "Hybrid" {
+		return core.Hybrid{LockFrac: lf}, nil
+	}
+	if lockFrac != nil {
+		return nil, badRequest(`"lockfrac" only applies to scheme "hybrid"`)
+	}
+	s, err := core.SchemeByName(name)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	return s, nil
+}
+
+// schemeLabel is the cache's identity string for a scheme: Name, or
+// String when the scheme carries configuration (Hybrid's lock fraction).
+func schemeLabel(s core.Scheme) string {
+	if str, ok := s.(fmt.Stringer); ok {
+		return str.String()
+	}
+	return s.Name()
+}
+
+func (s *Server) checkProcs(procs int) (int, error) {
+	if procs == 0 {
+		return 16, nil
+	}
+	if procs < 1 || procs > s.cfg.MaxProcs {
+		return 0, badRequest("procs %d not in [1,%d]", procs, s.cfg.MaxProcs)
+	}
+	return procs, nil
+}
+
+func (s *Server) checkStages(stages int) (int, error) {
+	if stages < 1 || stages > s.cfg.MaxStages {
+		return 0, badRequest("stages %d not in [1,%d]", stages, s.cfg.MaxStages)
+	}
+	return stages, nil
+}
+
+// --- /v1/bus ---
+
+type busRequest struct {
+	Scheme   string          `json:"scheme"`
+	LockFrac *float64        `json:"lockfrac,omitempty"`
+	Level    string          `json:"level,omitempty"`
+	Params   json.RawMessage `json:"params,omitempty"`
+	Procs    int             `json:"procs,omitempty"`
+	// Point requests only the prediction at exactly Procs processors
+	// instead of the full 1..Procs curve.
+	Point bool `json:"point,omitempty"`
+}
+
+type busResponse struct {
+	Scheme string          `json:"scheme"`
+	Costs  string          `json:"costs"`
+	Procs  int             `json:"procs"`
+	Points []core.BusPoint `json:"points"`
+}
+
+func (s *Server) handleBus(ctx context.Context, body []byte) (any, error) {
+	var req busRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	scheme, err := resolveScheme(req.Scheme, req.LockFrac)
+	if err != nil {
+		return nil, err
+	}
+	p, err := resolveParams(req.Level, req.Params)
+	if err != nil {
+		return nil, err
+	}
+	procs, err := s.checkProcs(req.Procs)
+	if err != nil {
+		return nil, err
+	}
+	costs := core.BusCosts()
+	return s.solve(ctx, func() (any, error) {
+		resp := busResponse{Scheme: schemeLabel(scheme), Costs: costs.Name, Procs: procs}
+		if req.Point {
+			pt, err := s.ev.BusPoint(scheme, p, costs, procs)
+			if err != nil {
+				return nil, err
+			}
+			resp.Points = []core.BusPoint{pt}
+			return resp, nil
+		}
+		pts, err := s.ev.EvaluateBus(scheme, p, costs, procs)
+		if err != nil {
+			return nil, err
+		}
+		resp.Points = pts
+		return resp, nil
+	})
+}
+
+// --- /v1/network ---
+
+type networkRequest struct {
+	Scheme   string          `json:"scheme"`
+	LockFrac *float64        `json:"lockfrac,omitempty"`
+	Level    string          `json:"level,omitempty"`
+	Params   json.RawMessage `json:"params,omitempty"`
+	Stages   int             `json:"stages"`
+	// Model selects the contention model: "patel" (default, the paper's
+	// retry fixed point) or "mva" (the footnote-2 load-dependent MVA).
+	Model string `json:"model,omitempty"`
+}
+
+type networkResponse struct {
+	Scheme string            `json:"scheme"`
+	Model  string            `json:"model"`
+	Point  core.NetworkPoint `json:"point"`
+}
+
+func (s *Server) handleNetwork(ctx context.Context, body []byte) (any, error) {
+	var req networkRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	scheme, err := resolveScheme(req.Scheme, req.LockFrac)
+	if err != nil {
+		return nil, err
+	}
+	p, err := resolveParams(req.Level, req.Params)
+	if err != nil {
+		return nil, err
+	}
+	stages, err := s.checkStages(req.Stages)
+	if err != nil {
+		return nil, err
+	}
+	model := req.Model
+	if model == "" {
+		model = "patel"
+	}
+	if model != "patel" && model != "mva" {
+		return nil, badRequest("unknown model %q (want patel or mva)", req.Model)
+	}
+	return s.solve(ctx, func() (any, error) {
+		var pt core.NetworkPoint
+		var err error
+		if model == "mva" {
+			pt, err = core.EvaluateNetworkMVA(scheme, p, stages)
+		} else {
+			pt, err = core.EvaluateNetworkAt(scheme, p, stages)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return networkResponse{Scheme: schemeLabel(scheme), Model: model, Point: pt}, nil
+	})
+}
+
+// --- /v1/advisor ---
+
+type advisorRequest struct {
+	Level  string          `json:"level,omitempty"`
+	Params json.RawMessage `json:"params,omitempty"`
+	Procs  int             `json:"procs,omitempty"`
+	// Stages 0 ranks on a Procs-processor bus; >= 1 on a 2^Stages
+	// network.
+	Stages int `json:"stages,omitempty"`
+	// Schemes restricts the candidate set (default: the advisor's usual
+	// implementable candidates).
+	Schemes  []string `json:"schemes,omitempty"`
+	LockFrac *float64 `json:"lockfrac,omitempty"`
+}
+
+type rankingJSON struct {
+	Scheme     string  `json:"scheme"`
+	Power      float64 `json:"power"`
+	Efficiency float64 `json:"efficiency"`
+}
+
+type advisorResponse struct {
+	Hardware string        `json:"hardware"`
+	Rankings []rankingJSON `json:"rankings"`
+}
+
+// defaultCandidates mirrors cohere advise and core.Recommend.
+func defaultCandidates() []core.Scheme {
+	return []core.Scheme{
+		core.Dragon{}, core.SoftwareFlush{}, core.NoCache{},
+		core.Hybrid{LockFrac: defaultLockFrac}, core.Directory{},
+	}
+}
+
+func (s *Server) handleAdvisor(ctx context.Context, body []byte) (any, error) {
+	var req advisorRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	p, err := resolveParams(req.Level, req.Params)
+	if err != nil {
+		return nil, err
+	}
+	candidates := defaultCandidates()
+	if len(req.Schemes) > 0 {
+		candidates = candidates[:0]
+		for _, name := range req.Schemes {
+			var lf *float64
+			if name == "hybrid" || name == "Hybrid" {
+				lf = req.LockFrac
+			}
+			sch, err := resolveScheme(name, lf)
+			if err != nil {
+				return nil, err
+			}
+			candidates = append(candidates, sch)
+		}
+	}
+	var hardware string
+	var rank func() ([]core.Ranking, error)
+	if req.Stages == 0 {
+		procs, err := s.checkProcs(req.Procs)
+		if err != nil {
+			return nil, err
+		}
+		hardware = fmt.Sprintf("%d-processor bus", procs)
+		rank = func() ([]core.Ranking, error) {
+			return core.RankBusWith(s.ev, candidates, p, core.BusCosts(), procs)
+		}
+	} else {
+		if req.Procs != 0 {
+			return nil, badRequest(`"procs" and "stages" are mutually exclusive (a network's size is 2^stages)`)
+		}
+		stages, err := s.checkStages(req.Stages)
+		if err != nil {
+			return nil, err
+		}
+		hardware = fmt.Sprintf("%d-processor circuit-switched network", 1<<stages)
+		rank = func() ([]core.Ranking, error) {
+			return core.RankNetwork(candidates, p, stages)
+		}
+	}
+	return s.solve(ctx, func() (any, error) {
+		ranked, err := rank()
+		if err != nil {
+			return nil, err
+		}
+		resp := advisorResponse{Hardware: hardware}
+		for _, r := range ranked {
+			resp.Rankings = append(resp.Rankings, rankingJSON{
+				Scheme:     schemeLabel(r.Scheme),
+				Power:      r.Power,
+				Efficiency: r.Efficiency,
+			})
+		}
+		return resp, nil
+	})
+}
+
+// --- /v1/sensitivity ---
+
+type sensitivityRequest struct {
+	Procs int `json:"procs,omitempty"`
+	// Schemes lists the table's columns (default: the paper's four
+	// schemes).
+	Schemes  []string `json:"schemes,omitempty"`
+	LockFrac *float64 `json:"lockfrac,omitempty"`
+}
+
+func (s *Server) handleSensitivity(ctx context.Context, body []byte) (any, error) {
+	var req sensitivityRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	procs, err := s.checkProcs(req.Procs)
+	if err != nil {
+		return nil, err
+	}
+	schemes := core.PaperSchemes()
+	if len(req.Schemes) > 0 {
+		schemes = schemes[:0]
+		for _, name := range req.Schemes {
+			var lf *float64
+			if name == "hybrid" || name == "Hybrid" {
+				lf = req.LockFrac
+			}
+			sch, err := resolveScheme(name, lf)
+			if err != nil {
+				return nil, err
+			}
+			schemes = append(schemes, sch)
+		}
+	}
+	return s.solve(ctx, func() (any, error) {
+		return sensitivity.AnalyzeWith(&sweep.Engine{Cache: s.ev}, schemes, procs)
+	})
+}
+
+// --- /healthz ---
+
+type healthResponse struct {
+	Status        string      `json:"status"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Cache         sweep.Stats `json:"cache"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Cache:         s.ev.Stats(),
+	})
+}
+
+// --- /metrics ---
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w, s.ev.Stats())
+}

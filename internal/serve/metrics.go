@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"swcc/internal/sweep"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. Model solves
+// are sub-millisecond when cached, so the low end is fine-grained; the
+// top buckets catch limiter waits and big sensitivity grids.
+var latencyBuckets = []float64{
+	.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// metrics is the server's hand-rolled metric registry: request counters
+// by (path, code), an in-flight gauge, and one latency histogram. It
+// renders Prometheus text format directly — no dependencies, stable
+// output ordering.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[[2]string]uint64 // {path, code} -> count
+	inFlight int
+	buckets  []uint64 // cumulative-at-render counts per latencyBuckets entry
+	sum      float64  // total observed seconds
+	count    uint64   // total observations
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: map[[2]string]uint64{},
+		buckets:  make([]uint64, len(latencyBuckets)),
+	}
+}
+
+// knownPaths caps label cardinality: anything unrouted counts as "other".
+var knownPaths = map[string]bool{
+	"/healthz": true, "/metrics": true,
+	"/v1/bus": true, "/v1/network": true,
+	"/v1/advisor": true, "/v1/sensitivity": true,
+}
+
+func metricPath(path string) string {
+	if knownPaths[path] {
+		return path
+	}
+	return "other"
+}
+
+func (m *metrics) requestStarted() {
+	m.mu.Lock()
+	m.inFlight++
+	m.mu.Unlock()
+}
+
+func (m *metrics) requestDone(path string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inFlight--
+	m.requests[[2]string{metricPath(path), strconv.Itoa(code)}]++
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			m.buckets[i]++
+		}
+	}
+	m.sum += seconds
+	m.count++
+}
+
+// write renders the registry plus the evaluator's cache counters in
+// Prometheus text exposition format.
+func (m *metrics) write(w io.Writer, st sweep.Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("swcc_demand_solves_total", "ComputeDemand evaluations (cache misses).", st.DemandSolves)
+	counter("swcc_demand_cache_hits_total", "Demand queries served from the memo.", st.DemandHits)
+	counter("swcc_mva_solves_total", "SingleServerMVA recursions (cache misses).", st.MVASolves)
+	counter("swcc_mva_cache_hits_total", "MVA curve queries served from the memo.", st.MVAHits)
+
+	fmt.Fprintf(w, "# HELP swcc_cache_entries Current entries per evaluator cache.\n# TYPE swcc_cache_entries gauge\n")
+	fmt.Fprintf(w, "swcc_cache_entries{cache=\"demand\"} %d\n", st.DemandEntries)
+	fmt.Fprintf(w, "swcc_cache_entries{cache=\"mva\"} %d\n", st.CurveEntries)
+	fmt.Fprintf(w, "swcc_cache_entries{cache=\"table\"} %d\n", st.TableEntries)
+
+	fmt.Fprintf(w, "# HELP swcc_http_requests_total Completed requests by path and status code.\n# TYPE swcc_http_requests_total counter\n")
+	keys := make([][2]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "swcc_http_requests_total{path=%q,code=%q} %d\n", k[0], k[1], m.requests[k])
+	}
+
+	fmt.Fprintf(w, "# HELP swcc_http_in_flight Requests currently being served.\n# TYPE swcc_http_in_flight gauge\nswcc_http_in_flight %d\n", m.inFlight)
+
+	fmt.Fprintf(w, "# HELP swcc_http_request_duration_seconds Request latency.\n# TYPE swcc_http_request_duration_seconds histogram\n")
+	for i, ub := range latencyBuckets {
+		fmt.Fprintf(w, "swcc_http_request_duration_seconds_bucket{le=%q} %d\n",
+			strconv.FormatFloat(ub, 'g', -1, 64), m.buckets[i])
+	}
+	fmt.Fprintf(w, "swcc_http_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.count)
+	fmt.Fprintf(w, "swcc_http_request_duration_seconds_sum %g\n", m.sum)
+	fmt.Fprintf(w, "swcc_http_request_duration_seconds_count %d\n", m.count)
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusRecorder captures the status code and byte count a handler wrote
+// so the access log and metrics can report them.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+// instrument wraps the handler tree with panic recovery, the in-flight
+// gauge, the latency histogram, per-(path, code) counters, and a
+// structured access log line per request.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		s.met.requestStarted()
+		defer func() {
+			if p := recover(); p != nil {
+				s.log.Error("panic serving request",
+					"path", r.URL.Path, "panic", p, "stack", string(debug.Stack()))
+				if rec.status == 0 {
+					s.writeJSON(rec, http.StatusInternalServerError,
+						errorResponse{Error: "internal error"})
+				}
+			}
+			elapsed := time.Since(start)
+			if rec.status == 0 {
+				// Handler wrote nothing; net/http will send 200.
+				rec.status = http.StatusOK
+			}
+			s.met.requestDone(r.URL.Path, rec.status, elapsed.Seconds())
+			s.log.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"duration_ms", float64(elapsed.Microseconds())/1000,
+				"bytes", rec.bytes,
+				"remote", r.RemoteAddr,
+			)
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}

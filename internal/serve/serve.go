@@ -1,0 +1,175 @@
+// Package serve is the HTTP model-serving layer: a JSON API over the
+// analytical model, backed by one shared memoizing sweep.Evaluator so a
+// long-running daemon amortizes demand and MVA solves across requests.
+//
+// The package provides the handler tree and production plumbing — strict
+// input validation (unknown fields, NaN/Inf, and out-of-range workload
+// parameters are rejected at the boundary with 400s), per-request
+// timeouts, a concurrency limiter with backpressure, request body size
+// caps, panic recovery, structured access logs, and Prometheus-style
+// metrics — while cmd/cohered owns the process concerns (flags, signals,
+// graceful shutdown).
+//
+// Endpoints:
+//
+//	GET  /healthz         liveness + cache snapshot
+//	GET  /metrics         Prometheus text format
+//	POST /v1/bus          bus-model curve or single point
+//	POST /v1/network      multistage-network point (Patel or MVA variant)
+//	POST /v1/advisor      scheme rankings for a workload
+//	POST /v1/sensitivity  one-at-a-time parameter sensitivity table
+//
+// Every response is bit-identical to the equivalent library call: the
+// handlers route through the same sweep.Evaluator code paths the CLIs
+// use, and the evaluator's determinism contract (see internal/sweep)
+// guarantees cache hits reproduce miss-path results exactly.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"swcc/internal/sweep"
+)
+
+// Config tunes the server's limits. The zero value is usable: every
+// field falls back to the default documented on it.
+type Config struct {
+	// RequestTimeout bounds one request's total model work, wait for a
+	// concurrency slot included. Default 10s.
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrent model solves; requests beyond it wait
+	// for a slot and fail 503 if none frees up within the request
+	// timeout. Default 4*GOMAXPROCS.
+	MaxInFlight int
+	// MaxBodyBytes caps the request body. Default 1 MiB.
+	MaxBodyBytes int64
+	// MaxProcs is the largest servable bus machine (the cost of a bus
+	// query is linear in procs). Default 4096.
+	MaxProcs int
+	// MaxStages is the largest servable network (2^stages processors).
+	// Default 20.
+	MaxStages int
+	// Logger receives structured access and lifecycle logs. Default
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxProcs <= 0 {
+		c.MaxProcs = 4096
+	}
+	if c.MaxStages <= 0 {
+		c.MaxStages = 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the shared state behind the handler tree. Construct with
+// NewServer; the zero value is not ready.
+type Server struct {
+	cfg   Config
+	ev    *sweep.Evaluator
+	met   *metrics
+	log   *slog.Logger
+	sem   chan struct{}
+	start time.Time
+
+	// beforeSolve, when non-nil, runs inside the solve goroutine before
+	// the model work. Tests use it to hold a request open so the
+	// timeout and busy paths can be exercised deterministically.
+	beforeSolve func()
+}
+
+// NewServer returns a server with a fresh evaluator cache.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		ev:    sweep.NewEvaluator(),
+		met:   newMetrics(),
+		log:   cfg.Logger,
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		start: time.Now(),
+	}
+}
+
+// Evaluator exposes the shared cache, e.g. for tests asserting hit
+// counts or for embedding the handler tree next to batch work.
+func (s *Server) Evaluator() *sweep.Evaluator { return s.ev }
+
+// Handler returns the routed, instrumented handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/bus", s.apiHandler(s.handleBus))
+	mux.HandleFunc("POST /v1/network", s.apiHandler(s.handleNetwork))
+	mux.HandleFunc("POST /v1/advisor", s.apiHandler(s.handleAdvisor))
+	mux.HandleFunc("POST /v1/sensitivity", s.apiHandler(s.handleSensitivity))
+	return s.instrument(mux)
+}
+
+// errBusy marks a request that never got a concurrency slot; the
+// instrument middleware has already accounted for it by the time the
+// handler maps it to 503.
+var errBusy = fmt.Errorf("serve: all %s slots busy", "model")
+
+// solve runs fn under the concurrency limiter with the request context's
+// deadline. Waiting for a slot and solving share one budget; a request
+// that times out while queued fails errBusy (503), one that times out
+// mid-solve fails ctx.Err() (504). A timed-out solve keeps its slot
+// until the goroutine finishes, so MaxInFlight bounds real model work
+// even when clients have given up.
+func (s *Server) solve(ctx context.Context, fn func() (any, error)) (any, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, errBusy
+	}
+	type res struct {
+		v   any
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		defer func() { <-s.sem }()
+		// The solve runs outside the handler goroutine, so the
+		// instrument middleware's recover cannot catch a panic here;
+		// convert it to a 500 instead of killing the process.
+		defer func() {
+			if p := recover(); p != nil {
+				s.log.Error("panic in model solve", "panic", p, "stack", string(debug.Stack()))
+				ch <- res{nil, fmt.Errorf("serve: internal error: %v", p)}
+			}
+		}()
+		if s.beforeSolve != nil {
+			s.beforeSolve()
+		}
+		v, err := fn()
+		ch <- res{v, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

@@ -29,6 +29,10 @@ type Stats struct {
 	// MVASolves and MVAHits count SingleServerMVA recursions and curve
 	// cache hits.
 	MVASolves, MVAHits uint64
+	// DemandEntries, CurveEntries, and TableEntries are the current
+	// sizes of the three memo maps — the numbers a long-running server
+	// watches to know its caches are bounded by distinct-work, not time.
+	DemandEntries, CurveEntries, TableEntries int
 }
 
 // demandKey identifies one demand solve: the scheme (including any
@@ -65,11 +69,15 @@ func NewEvaluator() *Evaluator {
 	}
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters and current map sizes.
 func (ev *Evaluator) Stats() Stats {
 	ev.mu.Lock()
 	defer ev.mu.Unlock()
-	return ev.stats
+	st := ev.stats
+	st.DemandEntries = len(ev.demands)
+	st.CurveEntries = len(ev.curves)
+	st.TableEntries = len(ev.tables)
+	return st
 }
 
 // schemeKey distinguishes schemes in the cache. Configured schemes
@@ -82,6 +90,14 @@ func schemeKey(s core.Scheme) string {
 	}
 	return s.Name()
 }
+
+// tableMemoCap bounds the pointer-keyed fingerprint memo. Batch callers
+// reuse a handful of table pointers, but a long-lived server handed a
+// fresh *CostTable per request would otherwise grow the memo (and pin
+// every table it has ever seen) forever. The memo only skips recomputing
+// a cheap string — demand results are keyed by content, not pointer — so
+// dropping it wholesale at the cap is correct and keeps memory bounded.
+const tableMemoCap = 1024
 
 // fingerprint returns a content key for the cost table, memoized by
 // pointer (tables are immutable after construction). Content-based keying
@@ -98,6 +114,9 @@ func (ev *Evaluator) fingerprint(costs *core.CostTable) string {
 		}
 		c := costs.Cost(op)
 		fp += fmt.Sprintf("|%d:%x:%x", int(op), c.CPU, c.Interconnect)
+	}
+	if len(ev.tables) >= tableMemoCap {
+		ev.tables = make(map[*core.CostTable]string, tableMemoCap)
 	}
 	ev.tables[costs] = fp
 	return fp
@@ -135,13 +154,19 @@ func (ev *Evaluator) Demand(s core.Scheme, p core.Params, costs *core.CostTable)
 // of) a previously solved curve for the same (think, service) when long
 // enough. The MVA recursion computes 1..n in one pass, so a longer curve's
 // prefix is bit-identical to a shorter solve.
+//
+// The returned slice never aliases the cached one: the cache previously
+// handed out c[:n] over its own backing array, so one mutating caller
+// silently corrupted every later hit. Cloning on both the hit and the
+// miss path makes returned curves caller-owned.
 func (ev *Evaluator) curve(d core.Demand, n int) ([]queueing.SingleServerResult, error) {
 	key := mvaKey{d.Think(), d.Interconnect}
 	ev.mu.Lock()
 	if c, ok := ev.curves[key]; ok && len(c) >= n {
 		ev.stats.MVAHits++
+		out := append([]queueing.SingleServerResult(nil), c[:n]...)
 		ev.mu.Unlock()
-		return c[:n], nil
+		return out, nil
 	}
 	ev.mu.Unlock()
 
@@ -152,7 +177,7 @@ func (ev *Evaluator) curve(d core.Demand, n int) ([]queueing.SingleServerResult,
 	ev.mu.Lock()
 	ev.stats.MVASolves++
 	if prev, ok := ev.curves[key]; !ok || len(prev) < len(c) {
-		ev.curves[key] = c
+		ev.curves[key] = append([]queueing.SingleServerResult(nil), c...)
 	}
 	ev.mu.Unlock()
 	return c, nil
@@ -182,7 +207,7 @@ func (ev *Evaluator) EvaluateBus(s core.Scheme, p core.Params, costs *core.CostT
 // BusPoint returns the bus-model prediction at exactly nproc processors.
 func (ev *Evaluator) BusPoint(s core.Scheme, p core.Params, costs *core.CostTable, nproc int) (core.BusPoint, error) {
 	if nproc < 1 {
-		return core.BusPoint{}, fmt.Errorf("core: maxProcs %d < 1", nproc)
+		return core.BusPoint{}, fmt.Errorf("core: nproc %d < 1", nproc)
 	}
 	d, err := ev.Demand(s, p, costs)
 	if err != nil {

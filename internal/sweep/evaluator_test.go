@@ -2,9 +2,11 @@ package sweep
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"swcc/internal/core"
+	"swcc/internal/queueing"
 )
 
 // randomParams draws every Table 7 parameter uniformly from its
@@ -209,6 +211,79 @@ func TestCostTablesNotConfused(t *testing.T) {
 	}
 	if st.DemandHits != 1 {
 		t.Errorf("fresh-but-identical bus table missed the cache: %+v", st)
+	}
+}
+
+// TestCurveResultsAreCallerOwned checks the aliasing fix: a caller that
+// mutates a returned curve must not corrupt later cache hits, on either
+// the miss-path return or the hit-path return.
+func TestCurveResultsAreCallerOwned(t *testing.T) {
+	ev := NewEvaluator()
+	costs := core.BusCosts()
+	p := core.MiddleParams()
+	d, err := ev.Demand(core.Base{}, p, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ev.curve(d, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := append([]queueing.SingleServerResult(nil), want...)
+	// Scribble over the miss-path return, then over a hit-path return.
+	for pass := 0; pass < 2; pass++ {
+		for i := range want {
+			want[i].Wait = -1
+			want[i].Utilization = 99
+		}
+		got, err := ev.curve(d, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != pristine[i] {
+				t.Fatalf("pass %d: cached curve corrupted at %d: got %+v, want %+v",
+					pass, i, got[i], pristine[i])
+			}
+		}
+		want = got
+	}
+	if st := ev.Stats(); st.MVASolves != 1 {
+		t.Errorf("clone defeated the cache: %+v", st)
+	}
+}
+
+// TestTableMemoBounded feeds the evaluator more distinct *CostTable
+// pointers than the memo cap, as a long-running server handling
+// per-request tables does, and checks the pointer memo stays bounded
+// while the content-keyed demand cache keeps hitting.
+func TestTableMemoBounded(t *testing.T) {
+	ev := NewEvaluator()
+	p := core.MiddleParams()
+	for i := 0; i < tableMemoCap+64; i++ {
+		if _, err := ev.Demand(core.Base{}, p, core.BusCosts()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ev.Stats()
+	if st.TableEntries > tableMemoCap {
+		t.Errorf("table memo grew past its cap: %d > %d", st.TableEntries, tableMemoCap)
+	}
+	if st.DemandSolves != 1 {
+		t.Errorf("identical tables under fresh pointers re-solved demand: %+v", st)
+	}
+	if st.DemandEntries != 1 || st.CurveEntries != 0 {
+		t.Errorf("unexpected cache sizes: %+v", st)
+	}
+}
+
+// TestBusPointErrorNamesArgument pins the fixed error message: BusPoint
+// takes nproc, not maxProcs.
+func TestBusPointErrorNamesArgument(t *testing.T) {
+	ev := NewEvaluator()
+	_, err := ev.BusPoint(core.Base{}, core.MiddleParams(), core.BusCosts(), 0)
+	if err == nil || !strings.Contains(err.Error(), "nproc") {
+		t.Errorf("want error naming nproc, got %v", err)
 	}
 }
 
