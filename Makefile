@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-short check serve smoke artifacts examples golden cover clean
+.PHONY: all build test vet race race-hammer bench bench-short bench-json check serve smoke artifacts examples golden cover clean
 
 all: build vet test
 
@@ -32,8 +32,27 @@ bench-short:
 	$(GO) test -run=NONE -bench='BenchmarkSweep|BenchmarkEvaluator' -benchmem ./internal/sweep
 	$(GO) test -run=NONE -bench='BenchmarkSimHotLoop|BenchmarkTraceRestrict' -benchmem ./internal/sim
 
-# The pre-merge gate: vet plus the race-enabled test run.
-check: vet race
+# Machine-readable record of the concurrency benchmarks (the sharded
+# evaluator under contention at 1/4/8 threads, and the batch endpoint vs
+# sequential calls), captured as test2json events for diffing across PRs.
+bench-json:
+	$(GO) test -run=NONE -bench='BenchmarkEvaluatorContention' -benchmem \
+		-cpu 1,4,8 -json ./internal/sweep > BENCH_PR3.json
+	$(GO) test -run=NONE -bench='BenchmarkServeBatch' -benchmem \
+		-json ./internal/serve >> BENCH_PR3.json
+	@grep -c '"Action"' BENCH_PR3.json >/dev/null && echo "bench-json: wrote BENCH_PR3.json"
+
+# Focused race hammers: the shared-evaluator and shared-server stress
+# tests, repeated, under the race detector — the concurrency gate on the
+# sharded cache, the singleflight paths, and the batch endpoint fan-out.
+race-hammer:
+	$(GO) test -race -count=2 \
+		-run 'TestEvaluatorConcurrentHammer|TestSingleflightColdKeyRace|TestConcurrentRequestsBitIdentical' \
+		./internal/sweep ./internal/serve
+
+# The pre-merge gate: vet, the race-enabled test run, and the repeated
+# concurrency hammers.
+check: vet race race-hammer
 
 # Run the model-serving daemon in the foreground.
 COHERED_ADDR ?= 127.0.0.1:8080
@@ -54,6 +73,9 @@ smoke:
 	curl -sf http://$(SMOKE_ADDR)/healthz || { echo "smoke: healthz failed"; exit 1; }; \
 	curl -sf -X POST -d '{"scheme": "dragon", "procs": 8}' http://$(SMOKE_ADDR)/v1/bus \
 		| grep -q '"Power"' || { echo "smoke: /v1/bus failed"; exit 1; }; \
+	curl -sf -X POST -d '{"points": [{"scheme": "dragon", "procs": 8, "point": true}, {"scheme": "base", "procs": 8, "point": true}]}' \
+		http://$(SMOKE_ADDR)/v1/sweep \
+		| grep -q '"count":2' || { echo "smoke: /v1/sweep failed"; exit 1; }; \
 	kill -TERM $$pid; wait $$pid; \
 	echo "smoke: ok"
 

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	cohered [-addr :8080] [-timeout 10s] [-max-inflight N]
-//	        [-max-body BYTES] [-max-procs N] [-max-stages N] [-quiet]
+//	        [-max-body BYTES] [-max-procs N] [-max-stages N]
+//	        [-max-batch N] [-cache-cap N] [-quiet]
 //
 // Endpoints (see internal/serve):
 //
@@ -15,6 +16,7 @@
 //	POST /v1/network      multistage-network point
 //	POST /v1/advisor      scheme rankings for a workload
 //	POST /v1/sensitivity  parameter sensitivity table
+//	POST /v1/sweep        batch of bus-model points in one round trip
 //
 // The daemon logs JSON lines to stderr and shuts down gracefully on
 // SIGINT/SIGTERM: the listener closes immediately, in-flight requests get
@@ -59,6 +61,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(net.
 	maxBody := fs.Int64("max-body", 1<<20, "request body cap in bytes")
 	maxProcs := fs.Int("max-procs", 4096, "largest servable bus machine")
 	maxStages := fs.Int("max-stages", 20, "largest servable network (2^stages processors)")
+	maxBatch := fs.Int("max-batch", 1024, "largest /v1/sweep batch in points")
+	cacheCap := fs.Int("cache-cap", 0, "cap demand/curve cache entries each, CLOCK-evicting past it (0 = unbounded)")
 	grace := fs.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
 	quiet := fs.Bool("quiet", false, "suppress per-request access logs")
 	if err := fs.Parse(args); err != nil {
@@ -80,6 +84,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(net.
 		MaxBodyBytes:   *maxBody,
 		MaxProcs:       *maxProcs,
 		MaxStages:      *maxStages,
+		MaxBatchPoints: *maxBatch,
+		CacheCap:       *cacheCap,
 		Logger:         logger,
 	})
 

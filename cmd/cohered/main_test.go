@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -51,6 +52,87 @@ func TestDaemonLifecycle(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"Dragon"`) {
 		t.Fatalf("bus query: status %d body %s", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestBatchFlags boots the daemon with the batch and cache flags set and
+// checks both take effect over the wire: a /v1/sweep batch within the
+// -max-batch cap succeeds, one over it is rejected 400, and a -cache-cap
+// small enough to evict under the served key mix shows up as a nonzero
+// eviction counter on /metrics.
+func TestBatchFlags(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrc := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-quiet", "-max-batch", "3", "-cache-cap", "32",
+		}, io.Discard, func(a net.Addr) { addrc <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrc:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	post := func(body string) (int, string) {
+		resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("sweep query: %v", err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(data)
+	}
+
+	code, body := post(`{"points": [{"scheme": "dragon", "procs": 4}, {"scheme": "base", "procs": 4}]}`)
+	if code != http.StatusOK || !strings.Contains(body, `"count":2`) {
+		t.Fatalf("in-cap batch: status %d body %s", code, body)
+	}
+	code, body = post(`{"points": [{"scheme": "base"}, {"scheme": "base"}, {"scheme": "base"}, {"scheme": "base"}]}`)
+	if code != http.StatusBadRequest || !strings.Contains(body, "3-point cap") {
+		t.Fatalf("over-cap batch: status %d body %s", code, body)
+	}
+
+	// Push more distinct workloads than -cache-cap allows and check the
+	// CLOCK policy reports evictions.
+	for i := 0; i < 60; i += 3 {
+		pts := make([]string, 3)
+		for j := range pts {
+			pts[j] = fmt.Sprintf(`{"scheme": "swflush", "params": {"shd": %g}, "procs": 4, "point": true}`,
+				0.01+0.9*float64(i+j)/60)
+		}
+		if code, body := post(`{"points": [` + strings.Join(pts, ",") + `]}`); code != http.StatusOK {
+			t.Fatalf("churn batch: status %d body %s", code, body)
+		}
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(data)
+	if !strings.Contains(text, `swcc_cache_evictions_total{cache="demand"}`) {
+		t.Fatalf("metrics missing eviction series:\n%s", text)
+	}
+	if strings.Contains(text, `swcc_cache_evictions_total{cache="demand"} 0`) {
+		t.Errorf("-cache-cap 32 with 60 distinct workloads evicted nothing:\n%s", text)
 	}
 
 	cancel()

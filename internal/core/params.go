@@ -154,86 +154,104 @@ func (f FieldSpec) Value(l Level) float64 {
 	}
 }
 
-// Fields returns the eleven parameter specs in Table 7 order.
-func Fields() []FieldSpec {
-	return []FieldSpec{
-		{
-			Name: "ls", Doc: "probability an instruction is a load or store",
-			Low: 0.2, Mid: 0.3, High: 0.4,
-			Get: func(p *Params) float64 { return p.LS },
-			Set: func(p *Params, v float64) { p.LS = v },
-		},
-		{
-			Name: "msdat", Doc: "miss rate for data",
-			Low: 0.004, Mid: 0.014, High: 0.024,
-			Get: func(p *Params) float64 { return p.MsDat },
-			Set: func(p *Params, v float64) { p.MsDat = v },
-		},
-		{
-			Name: "mains", Doc: "miss rate for instructions",
-			Low: 0.0014, Mid: 0.0022, High: 0.0034,
-			Get: func(p *Params) float64 { return p.MsIns },
-			Set: func(p *Params, v float64) { p.MsIns = v },
-		},
-		{
-			Name: "md", Doc: "probability a miss replaces a dirty block",
-			Low: 0.14, Mid: 0.20, High: 0.50,
-			Get: func(p *Params) float64 { return p.MD },
-			Set: func(p *Params, v float64) { p.MD = v },
-		},
-		{
-			Name: "shd", Doc: "probability a load or store refers to shared data",
-			Low: 0.08, Mid: 0.25, High: 0.42,
-			Get: func(p *Params) float64 { return p.Shd },
-			Set: func(p *Params, v float64) { p.Shd = v },
-		},
-		{
-			Name: "wr", Doc: "probability a shared reference is a store rather than a load",
-			Low: 0.10, Mid: 0.25, High: 0.40,
-			Get: func(p *Params) float64 { return p.WR },
-			Set: func(p *Params, v float64) { p.WR = v },
-		},
-		{
-			Name: "mdshd", Doc: "probability a shared block is modified before it is flushed",
-			Low: 0.0, Mid: 0.25, High: 0.5,
-			Get: func(p *Params) float64 { return p.MdShd },
-			Set: func(p *Params, v float64) { p.MdShd = v },
-		},
-		{
-			// Table 7 lists 1/apl: 0.04 / 0.13 / 1.0. Low..High
-			// orders by intensity: more flushes = heavier load.
-			Name: "apl", Doc: "references to a shared block before it is flushed",
-			Low: 25, Mid: 1 / 0.13, High: 1,
-			Get: func(p *Params) float64 { return p.APL },
-			Set: func(p *Params, v float64) { p.APL = v },
-		},
-		{
-			Name: "oclean", Doc: "on miss of a shared block, probability it is not dirty in another cache",
-			Low: 0.60, Mid: 0.84, High: 0.976,
-			Get: func(p *Params) float64 { return p.OClean },
-			Set: func(p *Params, v float64) { p.OClean = v },
-		},
-		{
-			Name: "opres", Doc: "on reference to a shared block, probability it is present in another cache",
-			Low: 0.63, Mid: 0.79, High: 0.94,
-			Get: func(p *Params) float64 { return p.OPres },
-			Set: func(p *Params, v float64) { p.OPres = v },
-		},
-		{
-			Name: "nshd", Doc: "on write-broadcast, number of caches containing the block",
-			Low: 1.0, Mid: 1.0, High: 7.0,
-			Get: func(p *Params) float64 { return p.NShd },
-			Set: func(p *Params, v float64) { p.NShd = v },
-		},
-	}
+// fieldSpecs is the canonical parameter table, built once: the memoizing
+// evaluator canonicalizes workloads on every cache lookup, so Fields and
+// FieldByName must not rebuild eleven specs (and twenty-two closures) per
+// call.
+var fieldSpecs = []FieldSpec{
+	{
+		Name: "ls", Doc: "probability an instruction is a load or store",
+		Low: 0.2, Mid: 0.3, High: 0.4,
+		Get: func(p *Params) float64 { return p.LS },
+		Set: func(p *Params, v float64) { p.LS = v },
+	},
+	{
+		Name: "msdat", Doc: "miss rate for data",
+		Low: 0.004, Mid: 0.014, High: 0.024,
+		Get: func(p *Params) float64 { return p.MsDat },
+		Set: func(p *Params, v float64) { p.MsDat = v },
+	},
+	{
+		Name: "mains", Doc: "miss rate for instructions",
+		Low: 0.0014, Mid: 0.0022, High: 0.0034,
+		Get: func(p *Params) float64 { return p.MsIns },
+		Set: func(p *Params, v float64) { p.MsIns = v },
+	},
+	{
+		Name: "md", Doc: "probability a miss replaces a dirty block",
+		Low: 0.14, Mid: 0.20, High: 0.50,
+		Get: func(p *Params) float64 { return p.MD },
+		Set: func(p *Params, v float64) { p.MD = v },
+	},
+	{
+		Name: "shd", Doc: "probability a load or store refers to shared data",
+		Low: 0.08, Mid: 0.25, High: 0.42,
+		Get: func(p *Params) float64 { return p.Shd },
+		Set: func(p *Params, v float64) { p.Shd = v },
+	},
+	{
+		Name: "wr", Doc: "probability a shared reference is a store rather than a load",
+		Low: 0.10, Mid: 0.25, High: 0.40,
+		Get: func(p *Params) float64 { return p.WR },
+		Set: func(p *Params, v float64) { p.WR = v },
+	},
+	{
+		Name: "mdshd", Doc: "probability a shared block is modified before it is flushed",
+		Low: 0.0, Mid: 0.25, High: 0.5,
+		Get: func(p *Params) float64 { return p.MdShd },
+		Set: func(p *Params, v float64) { p.MdShd = v },
+	},
+	{
+		// Table 7 lists 1/apl: 0.04 / 0.13 / 1.0. Low..High
+		// orders by intensity: more flushes = heavier load.
+		Name: "apl", Doc: "references to a shared block before it is flushed",
+		Low: 25, Mid: 1 / 0.13, High: 1,
+		Get: func(p *Params) float64 { return p.APL },
+		Set: func(p *Params, v float64) { p.APL = v },
+	},
+	{
+		Name: "oclean", Doc: "on miss of a shared block, probability it is not dirty in another cache",
+		Low: 0.60, Mid: 0.84, High: 0.976,
+		Get: func(p *Params) float64 { return p.OClean },
+		Set: func(p *Params, v float64) { p.OClean = v },
+	},
+	{
+		Name: "opres", Doc: "on reference to a shared block, probability it is present in another cache",
+		Low: 0.63, Mid: 0.79, High: 0.94,
+		Get: func(p *Params) float64 { return p.OPres },
+		Set: func(p *Params, v float64) { p.OPres = v },
+	},
+	{
+		Name: "nshd", Doc: "on write-broadcast, number of caches containing the block",
+		Low: 1.0, Mid: 1.0, High: 7.0,
+		Get: func(p *Params) float64 { return p.NShd },
+		Set: func(p *Params, v float64) { p.NShd = v },
+	},
 }
 
-// FieldByName returns the spec for the named parameter.
+// fieldIndex maps a parameter name to its fieldSpecs slot.
+var fieldIndex = func() map[string]int {
+	m := make(map[string]int, len(fieldSpecs))
+	for i, f := range fieldSpecs {
+		m[f.Name] = i
+	}
+	return m
+}()
+
+// Fields returns the eleven parameter specs in Table 7 order. The slice
+// is a fresh copy, so callers may reorder or filter it freely.
+func Fields() []FieldSpec {
+	out := make([]FieldSpec, len(fieldSpecs))
+	copy(out, fieldSpecs)
+	return out
+}
+
+// FieldByName returns the spec for the named parameter without
+// allocating — it sits on the evaluator's cache-key canonicalization
+// path.
 func FieldByName(name string) (FieldSpec, error) {
-	for _, f := range Fields() {
-		if f.Name == name {
-			return f, nil
-		}
+	if i, ok := fieldIndex[name]; ok {
+		return fieldSpecs[i], nil
 	}
 	return FieldSpec{}, fmt.Errorf("%w: unknown parameter %q", ErrInvalidParams, name)
 }

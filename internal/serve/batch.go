@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"swcc/internal/core"
+	"swcc/internal/sweep"
+)
+
+// --- /v1/sweep ---
+
+// sweepRequest is a batch of bus-model queries: a grid of (scheme,
+// workload, procs) points answered in one round trip instead of one
+// /v1/bus call each. Each point accepts exactly the /v1/bus request
+// fields and produces exactly the /v1/bus response for that point, so a
+// client can swap N sequential calls for one batch without changing how
+// it reads results.
+type sweepRequest struct {
+	Points []busRequest `json:"points"`
+}
+
+type sweepResponse struct {
+	Count   int           `json:"count"`
+	Results []busResponse `json:"results"`
+}
+
+// sweepJob is one validated point, ready to solve.
+type sweepJob struct {
+	scheme core.Scheme
+	params core.Params
+	procs  int
+	point  bool
+}
+
+// pointErr prefixes a per-point validation error with its index so the
+// client knows which grid cell to fix, preserving the status code.
+func pointErr(i int, err error) error {
+	var he *httpError
+	if errors.As(err, &he) {
+		return &httpError{code: he.code, msg: fmt.Sprintf("points[%d]: %s", i, he.msg)}
+	}
+	return fmt.Errorf("points[%d]: %w", i, err)
+}
+
+// handleSweep validates every point up front (the whole batch is
+// rejected 400 if any cell is malformed — same strictness as /v1/bus,
+// with the failing index named), then fans the grid out across the
+// evaluator on all cores. The batch occupies one concurrency-limiter
+// slot: MaxInFlight keeps bounding admitted requests, while the
+// intra-batch parallelism uses the worker pool. Results come back in
+// caller order, each bit-identical to the equivalent /v1/bus response.
+func (s *Server) handleSweep(ctx context.Context, body []byte) (any, error) {
+	var req sweepRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Points) == 0 {
+		return nil, badRequest(`"points" must be a non-empty array`)
+	}
+	if len(req.Points) > s.cfg.MaxBatchPoints {
+		return nil, badRequest("batch of %d points exceeds the %d-point cap",
+			len(req.Points), s.cfg.MaxBatchPoints)
+	}
+	jobs := make([]sweepJob, len(req.Points))
+	for i, pr := range req.Points {
+		scheme, err := resolveScheme(pr.Scheme, pr.LockFrac)
+		if err != nil {
+			return nil, pointErr(i, err)
+		}
+		p, err := resolveParams(pr.Level, pr.Params)
+		if err != nil {
+			return nil, pointErr(i, err)
+		}
+		procs, err := s.checkProcs(pr.Procs)
+		if err != nil {
+			return nil, pointErr(i, err)
+		}
+		jobs[i] = sweepJob{scheme: scheme, params: p, procs: procs, point: pr.Point}
+	}
+	costs := core.BusCosts()
+	return s.solve(ctx, func() (any, error) {
+		results := make([]busResponse, len(jobs))
+		errs := make([]error, len(jobs))
+		sweep.Each(0, len(jobs), func(i int) error {
+			j := jobs[i]
+			resp := busResponse{Scheme: schemeLabel(j.scheme), Costs: costs.Name, Procs: j.procs}
+			if j.point {
+				pt, err := s.ev.BusPoint(j.scheme, j.params, costs, j.procs)
+				if err != nil {
+					errs[i] = err
+					return nil
+				}
+				resp.Points = []core.BusPoint{pt}
+			} else {
+				pts, err := s.ev.EvaluateBus(j.scheme, j.params, costs, j.procs)
+				if err != nil {
+					errs[i] = err
+					return nil
+				}
+				resp.Points = pts
+			}
+			results[i] = resp
+			return nil
+		})
+		for i, err := range errs {
+			if err != nil {
+				return nil, pointErr(i, err)
+			}
+		}
+		return sweepResponse{Count: len(results), Results: results}, nil
+	})
+}

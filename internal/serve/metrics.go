@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"swcc/internal/sweep"
 )
@@ -21,19 +22,25 @@ var latencyBuckets = []float64{
 // by (path, code), an in-flight gauge, and one latency histogram. It
 // renders Prometheus text format directly — no dependencies, stable
 // output ordering.
+//
+// The hot counters (in-flight gauge, per-(path, code) requests) are
+// atomics so concurrent request completions never serialize on a
+// registry mutex; only the latency histogram keeps a lock, because one
+// observation updates every bucket at or above it plus the sum/count
+// pair, which must stay mutually consistent.
 type metrics struct {
-	mu       sync.Mutex
-	requests map[[2]string]uint64 // {path, code} -> count
-	inFlight int
-	buckets  []uint64 // cumulative-at-render counts per latencyBuckets entry
-	sum      float64  // total observed seconds
-	count    uint64   // total observations
+	requests sync.Map // [2]string{path, code} -> *atomic.Uint64
+	inFlight atomic.Int64
+
+	histMu  sync.Mutex
+	buckets []uint64 // cumulative-at-render counts per latencyBuckets entry
+	sum     float64  // total observed seconds
+	count   uint64   // total observations
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: map[[2]string]uint64{},
-		buckets:  make([]uint64, len(latencyBuckets)),
+		buckets: make([]uint64, len(latencyBuckets)),
 	}
 }
 
@@ -42,6 +49,7 @@ var knownPaths = map[string]bool{
 	"/healthz": true, "/metrics": true,
 	"/v1/bus": true, "/v1/network": true,
 	"/v1/advisor": true, "/v1/sensitivity": true,
+	"/v1/sweep": true,
 }
 
 func metricPath(path string) string {
@@ -52,16 +60,19 @@ func metricPath(path string) string {
 }
 
 func (m *metrics) requestStarted() {
-	m.mu.Lock()
-	m.inFlight++
-	m.mu.Unlock()
+	m.inFlight.Add(1)
 }
 
 func (m *metrics) requestDone(path string, code int, seconds float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.inFlight--
-	m.requests[[2]string{metricPath(path), strconv.Itoa(code)}]++
+	m.inFlight.Add(-1)
+	key := [2]string{metricPath(path), strconv.Itoa(code)}
+	c, ok := m.requests.Load(key)
+	if !ok {
+		c, _ = m.requests.LoadOrStore(key, new(atomic.Uint64))
+	}
+	c.(*atomic.Uint64).Add(1)
+
+	m.histMu.Lock()
 	for i, ub := range latencyBuckets {
 		if seconds <= ub {
 			m.buckets[i]++
@@ -69,13 +80,14 @@ func (m *metrics) requestDone(path string, code int, seconds float64) {
 	}
 	m.sum += seconds
 	m.count++
+	m.histMu.Unlock()
 }
 
-// write renders the registry plus the evaluator's cache counters in
+// write renders the registry plus the evaluator's cache counters, the
+// singleflight/eviction series, and the per-shard size gauges in
 // Prometheus text exposition format.
-func (m *metrics) write(w io.Writer, st sweep.Stats) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+func (m *metrics) write(w io.Writer, ev *sweep.Evaluator) {
+	st := ev.Stats()
 
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -90,23 +102,48 @@ func (m *metrics) write(w io.Writer, st sweep.Stats) {
 	fmt.Fprintf(w, "swcc_cache_entries{cache=\"mva\"} %d\n", st.CurveEntries)
 	fmt.Fprintf(w, "swcc_cache_entries{cache=\"table\"} %d\n", st.TableEntries)
 
+	fmt.Fprintf(w, "# HELP swcc_singleflight_dedups_total Concurrent misses served by another goroutine's in-flight solve.\n# TYPE swcc_singleflight_dedups_total counter\n")
+	fmt.Fprintf(w, "swcc_singleflight_dedups_total{cache=\"demand\"} %d\n", st.DemandDedups)
+	fmt.Fprintf(w, "swcc_singleflight_dedups_total{cache=\"mva\"} %d\n", st.MVADedups)
+
+	fmt.Fprintf(w, "# HELP swcc_cache_evictions_total Entries dropped by the bounded-capacity CLOCK policy.\n# TYPE swcc_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "swcc_cache_evictions_total{cache=\"demand\"} %d\n", st.DemandEvictions)
+	fmt.Fprintf(w, "swcc_cache_evictions_total{cache=\"mva\"} %d\n", st.CurveEvictions)
+
+	fmt.Fprintf(w, "# HELP swcc_cache_shards Lock-striped shards per evaluator cache.\n# TYPE swcc_cache_shards gauge\nswcc_cache_shards %d\n", st.Shards)
+	demandShards, curveShards := ev.ShardSizes()
+	fmt.Fprintf(w, "# HELP swcc_cache_shard_entries Current entries per cache shard.\n# TYPE swcc_cache_shard_entries gauge\n")
+	for i, n := range demandShards {
+		fmt.Fprintf(w, "swcc_cache_shard_entries{cache=\"demand\",shard=\"%d\"} %d\n", i, n)
+	}
+	for i, n := range curveShards {
+		fmt.Fprintf(w, "swcc_cache_shard_entries{cache=\"mva\",shard=\"%d\"} %d\n", i, n)
+	}
+
 	fmt.Fprintf(w, "# HELP swcc_http_requests_total Completed requests by path and status code.\n# TYPE swcc_http_requests_total counter\n")
-	keys := make([][2]string, 0, len(m.requests))
-	for k := range m.requests {
-		keys = append(keys, k)
+	type reqCount struct {
+		key [2]string
+		n   uint64
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
-		}
-		return keys[i][1] < keys[j][1]
+	var reqs []reqCount
+	m.requests.Range(func(k, v any) bool {
+		reqs = append(reqs, reqCount{k.([2]string), v.(*atomic.Uint64).Load()})
+		return true
 	})
-	for _, k := range keys {
-		fmt.Fprintf(w, "swcc_http_requests_total{path=%q,code=%q} %d\n", k[0], k[1], m.requests[k])
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].key[0] != reqs[j].key[0] {
+			return reqs[i].key[0] < reqs[j].key[0]
+		}
+		return reqs[i].key[1] < reqs[j].key[1]
+	})
+	for _, r := range reqs {
+		fmt.Fprintf(w, "swcc_http_requests_total{path=%q,code=%q} %d\n", r.key[0], r.key[1], r.n)
 	}
 
-	fmt.Fprintf(w, "# HELP swcc_http_in_flight Requests currently being served.\n# TYPE swcc_http_in_flight gauge\nswcc_http_in_flight %d\n", m.inFlight)
+	fmt.Fprintf(w, "# HELP swcc_http_in_flight Requests currently being served.\n# TYPE swcc_http_in_flight gauge\nswcc_http_in_flight %d\n", m.inFlight.Load())
 
+	m.histMu.Lock()
+	defer m.histMu.Unlock()
 	fmt.Fprintf(w, "# HELP swcc_http_request_duration_seconds Request latency.\n# TYPE swcc_http_request_duration_seconds histogram\n")
 	for i, ub := range latencyBuckets {
 		fmt.Fprintf(w, "swcc_http_request_duration_seconds_bucket{le=%q} %d\n",

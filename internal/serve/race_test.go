@@ -24,6 +24,15 @@ func TestConcurrentRequestsBitIdentical(t *testing.T) {
 		{"/v1/advisor", `{"procs": 16}`},
 		{"/v1/advisor", `{"level": "high", "procs": 32}`},
 		{"/v1/network", `{"scheme": "swflush", "stages": 5}`},
+		// The batch endpoint fans out internally, so this one query
+		// multiplies the per-request parallelism hitting the evaluator
+		// (note point 1 shares the dragon/32 curve with the /v1/bus
+		// queries above, and point 2 reads a prefix of it).
+		{"/v1/sweep", `{"points": [` +
+			`{"scheme": "dragon", "procs": 32},` +
+			`{"scheme": "dragon", "procs": 24},` +
+			`{"scheme": "swflush", "params": {"apl": 4}, "procs": 32},` +
+			`{"scheme": "base", "procs": 8, "point": true}]}`},
 	}
 
 	// References come from a fresh, idle server sharing no state with

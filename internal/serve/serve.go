@@ -18,6 +18,7 @@
 //	POST /v1/network      multistage-network point (Patel or MVA variant)
 //	POST /v1/advisor      scheme rankings for a workload
 //	POST /v1/sensitivity  one-at-a-time parameter sensitivity table
+//	POST /v1/sweep        batch of bus-model points in one round trip
 //
 // Every response is bit-identical to the equivalent library call: the
 // handlers route through the same sweep.Evaluator code paths the CLIs
@@ -55,6 +56,15 @@ type Config struct {
 	// MaxStages is the largest servable network (2^stages processors).
 	// Default 20.
 	MaxStages int
+	// MaxBatchPoints caps the number of grid points one /v1/sweep
+	// request may carry. Default 1024.
+	MaxBatchPoints int
+	// CacheCap, when positive, bounds the evaluator's demand and curve
+	// caches to roughly CacheCap entries each, evicting cold entries by
+	// a per-shard CLOCK policy — a hard memory ceiling for a long-lived
+	// daemon fed adversarial parameter mixes. Default 0 (unbounded:
+	// cache growth tracks distinct work).
+	CacheCap int
 	// Logger receives structured access and lifecycle logs. Default
 	// slog.Default().
 	Logger *slog.Logger
@@ -75,6 +85,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxStages <= 0 {
 		c.MaxStages = 20
+	}
+	if c.MaxBatchPoints <= 0 {
+		c.MaxBatchPoints = 1024
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -98,12 +111,13 @@ type Server struct {
 	beforeSolve func()
 }
 
-// NewServer returns a server with a fresh evaluator cache.
+// NewServer returns a server with a fresh evaluator cache, bounded when
+// cfg.CacheCap is set.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
 		cfg:   cfg,
-		ev:    sweep.NewEvaluator(),
+		ev:    sweep.NewEvaluatorCap(cfg.CacheCap),
 		met:   newMetrics(),
 		log:   cfg.Logger,
 		sem:   make(chan struct{}, cfg.MaxInFlight),
@@ -124,6 +138,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/network", s.apiHandler(s.handleNetwork))
 	mux.HandleFunc("POST /v1/advisor", s.apiHandler(s.handleAdvisor))
 	mux.HandleFunc("POST /v1/sensitivity", s.apiHandler(s.handleSensitivity))
+	mux.HandleFunc("POST /v1/sweep", s.apiHandler(s.handleSweep))
 	return s.instrument(mux)
 }
 

@@ -13,7 +13,9 @@ package sweep
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"swcc/internal/core"
 	"swcc/internal/queueing"
@@ -21,7 +23,8 @@ import (
 
 // Stats counts the evaluator's cache traffic. A "solve" is one real
 // ComputeDemand or one SingleServerMVA recursion; hits served from memory
-// are counted separately.
+// and misses deduplicated onto another goroutine's in-flight solve are
+// counted separately.
 type Stats struct {
 	// DemandSolves and DemandHits count ComputeDemand evaluations and
 	// cache hits.
@@ -29,10 +32,21 @@ type Stats struct {
 	// MVASolves and MVAHits count SingleServerMVA recursions and curve
 	// cache hits.
 	MVASolves, MVAHits uint64
+	// DemandDedups and MVADedups count concurrent misses that waited for
+	// (and shared) another goroutine's in-flight solve instead of
+	// re-solving — the singleflight savings under parallel load.
+	DemandDedups, MVADedups uint64
+	// DemandEvictions and CurveEvictions count entries dropped by the
+	// bounded-capacity CLOCK policy. Always zero on an unbounded
+	// evaluator.
+	DemandEvictions, CurveEvictions uint64
 	// DemandEntries, CurveEntries, and TableEntries are the current
-	// sizes of the three memo maps — the numbers a long-running server
-	// watches to know its caches are bounded by distinct-work, not time.
+	// sizes of the three memo caches — the numbers a long-running server
+	// watches to know its caches are bounded by distinct-work (or by the
+	// configured capacity), not time.
 	DemandEntries, CurveEntries, TableEntries int
+	// Shards is the number of lock stripes each cache is split across.
+	Shards int
 }
 
 // demandKey identifies one demand solve: the scheme (including any
@@ -50,34 +64,238 @@ type mvaKey struct {
 	think, service float64
 }
 
-// Evaluator memoizes demand and MVA solves. It is safe for concurrent
-// use; the zero value is not ready — construct with NewEvaluator.
-type Evaluator struct {
-	mu      sync.Mutex
-	demands map[demandKey]core.Demand
-	curves  map[mvaKey][]queueing.SingleServerResult
-	tables  map[*core.CostTable]string // fingerprint memo, keyed by pointer
-	stats   Stats
+// numShards is the lock-stripe count for the demand and curve caches.
+// Power of two so the shard index is a mask; 32 stripes keep the
+// collision probability on a busy server low without bloating the
+// per-evaluator footprint.
+const numShards = 32
+
+// --- FNV-1a key hashing (shard selection) ---
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
 }
 
-// NewEvaluator returns an empty cache.
-func NewEvaluator() *Evaluator {
-	return &Evaluator{
-		demands: map[demandKey]core.Demand{},
-		curves:  map[mvaKey][]queueing.SingleServerResult{},
-		tables:  map[*core.CostTable]string{},
+func hashFloat(h uint64, f float64) uint64 {
+	b := math.Float64bits(f)
+	for i := 0; i < 8; i++ {
+		h ^= b & 0xff
+		h *= fnvPrime
+		b >>= 8
+	}
+	return h
+}
+
+func (k demandKey) shard() int {
+	h := hashString(uint64(fnvOffset), k.scheme)
+	h = hashString(h, k.table)
+	p := k.params
+	for _, f := range [...]float64{
+		p.LS, p.MsDat, p.MsIns, p.MD, p.Shd, p.WR,
+		p.APL, p.MdShd, p.OClean, p.OPres, p.NShd,
+	} {
+		h = hashFloat(h, f)
+	}
+	return int(h & (numShards - 1))
+}
+
+func (k mvaKey) shard() int {
+	h := hashFloat(uint64(fnvOffset), k.think)
+	h = hashFloat(h, k.service)
+	return int(h & (numShards - 1))
+}
+
+// --- lock-striped shard storage ---
+
+// slot is one cached value plus its CLOCK reference bit. The bit is set
+// atomically on hits (under the shard's read lock, where plain writes
+// would race) and swept under the write lock by eviction.
+type slot[V any] struct {
+	v   V
+	ref atomic.Bool
+}
+
+// flight is one in-flight solve other goroutines can wait on instead of
+// re-solving. n is the curve length being solved (1 for demand flights,
+// where any result covers any waiter). v and err are written exactly once
+// before done is closed and never mutated after, so waiters may read them
+// without a lock.
+type flight[V any] struct {
+	n    int
+	done chan struct{}
+	v    V
+	err  error
+}
+
+// striped is one lock stripe of a cache: the resident entries, CLOCK
+// eviction metadata, and the singleflight calls for keys that hash here.
+// Hits take only mu.RLock; misses, publishes, and evictions take mu.
+type striped[K comparable, V any] struct {
+	mu       sync.RWMutex
+	entries  map[K]*slot[V]
+	inflight map[K]*flight[V]
+	ring     []K // CLOCK ring; maintained only when the shard is capped
+	hand     int
+}
+
+func (s *striped[K, V]) init() {
+	s.entries = map[K]*slot[V]{}
+	s.inflight = map[K]*flight[V]{}
+}
+
+// put inserts v, evicting one CLOCK victim first when the shard is at
+// cap (cap <= 0 = unbounded). Caller holds mu. Reports whether an
+// eviction happened.
+func (s *striped[K, V]) put(key K, v V, cap int) bool {
+	if sl, ok := s.entries[key]; ok {
+		sl.v = v
+		return false
+	}
+	evicted := false
+	if cap > 0 && len(s.entries) >= cap {
+		s.evict()
+		evicted = true
+	}
+	s.entries[key] = &slot[V]{v: v}
+	if cap > 0 {
+		s.ring = append(s.ring, key)
+	}
+	return evicted
+}
+
+// evict removes one entry by the CLOCK policy: sweep the ring clearing
+// reference bits; the first entry not referenced since its last sweep is
+// the victim. Caller holds mu exclusively, so no reader can set a bit
+// mid-sweep and the loop terminates within one revolution.
+func (s *striped[K, V]) evict() {
+	for {
+		if s.hand >= len(s.ring) {
+			s.hand = 0
+		}
+		key := s.ring[s.hand]
+		if s.entries[key].ref.CompareAndSwap(true, false) {
+			s.hand++
+			continue
+		}
+		delete(s.entries, key)
+		last := len(s.ring) - 1
+		s.ring[s.hand] = s.ring[last]
+		s.ring = s.ring[:last]
+		return
 	}
 }
 
-// Stats returns a snapshot of the cache counters and current map sizes.
+// Evaluator memoizes demand and MVA solves. It is safe for concurrent
+// use and designed to scale with cores: both caches are split across
+// lock-striped shards whose hits take only a read lock, bookkeeping is
+// atomic, and concurrent misses on one key are deduplicated onto a
+// single in-flight solve (singleflight) whose result every waiter
+// shares. The zero value is not ready — construct with NewEvaluator or
+// NewEvaluatorCap.
+type Evaluator struct {
+	demands  [numShards]striped[demandKey, core.Demand]
+	curves   [numShards]striped[mvaKey, []queueing.SingleServerResult]
+	tables   tableMemo
+	shardCap int // per-shard entry cap for each cache; 0 = unbounded
+
+	demandSolves, demandHits, demandDedups atomic.Uint64
+	mvaSolves, mvaHits, mvaDedups          atomic.Uint64
+	demandEvictions, curveEvictions        atomic.Uint64
+
+	// waitHook, when non-nil, runs on the singleflight wait path after a
+	// goroutine has committed to waiting on another's in-flight solve.
+	// Tests use it to hold a solve open until every racer is parked.
+	waitHook func()
+}
+
+// NewEvaluator returns an empty, unbounded cache.
+func NewEvaluator() *Evaluator { return NewEvaluatorCap(0) }
+
+// NewEvaluatorCap returns an evaluator whose demand and curve caches are
+// each bounded to roughly capacity entries, evicting by a per-shard
+// CLOCK policy (hits set a reference bit; a sweeping hand evicts the
+// first entry not referenced since its last pass). The capacity is split
+// evenly across shards and rounded up, so the effective bound is
+// Capacity(). capacity <= 0 means unbounded.
+func NewEvaluatorCap(capacity int) *Evaluator {
+	ev := &Evaluator{}
+	if capacity > 0 {
+		ev.shardCap = (capacity + numShards - 1) / numShards
+	}
+	for i := range ev.demands {
+		ev.demands[i].init()
+	}
+	for i := range ev.curves {
+		ev.curves[i].init()
+	}
+	ev.tables.m.Store(&sync.Map{})
+	return ev
+}
+
+// Capacity returns the effective entry bound per cache (demand and curve
+// each), or 0 when unbounded. It can exceed the capacity passed to
+// NewEvaluatorCap by up to numShards-1 due to per-shard rounding.
+func (ev *Evaluator) Capacity() int { return ev.shardCap * numShards }
+
+// Stats returns a snapshot of the cache counters and current sizes. The
+// counters are individually atomic, so a snapshot taken mid-traffic is
+// approximate (e.g. hits may momentarily outpace solves).
 func (ev *Evaluator) Stats() Stats {
-	ev.mu.Lock()
-	defer ev.mu.Unlock()
-	st := ev.stats
-	st.DemandEntries = len(ev.demands)
-	st.CurveEntries = len(ev.curves)
-	st.TableEntries = len(ev.tables)
+	st := Stats{
+		DemandSolves:    ev.demandSolves.Load(),
+		DemandHits:      ev.demandHits.Load(),
+		MVASolves:       ev.mvaSolves.Load(),
+		MVAHits:         ev.mvaHits.Load(),
+		DemandDedups:    ev.demandDedups.Load(),
+		MVADedups:       ev.mvaDedups.Load(),
+		DemandEvictions: ev.demandEvictions.Load(),
+		CurveEvictions:  ev.curveEvictions.Load(),
+		TableEntries:    int(ev.tables.count.Load()),
+		Shards:          numShards,
+	}
+	for i := range ev.demands {
+		sh := &ev.demands[i]
+		sh.mu.RLock()
+		st.DemandEntries += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	for i := range ev.curves {
+		sh := &ev.curves[i]
+		sh.mu.RLock()
+		st.CurveEntries += len(sh.entries)
+		sh.mu.RUnlock()
+	}
 	return st
+}
+
+// ShardSizes returns the per-shard entry counts of the demand and curve
+// caches, for export as per-shard gauges (a skewed distribution means a
+// hot key range is hashing onto one stripe).
+func (ev *Evaluator) ShardSizes() (demand, curve []int) {
+	demand = make([]int, numShards)
+	curve = make([]int, numShards)
+	for i := range ev.demands {
+		sh := &ev.demands[i]
+		sh.mu.RLock()
+		demand[i] = len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	for i := range ev.curves {
+		sh := &ev.curves[i]
+		sh.mu.RLock()
+		curve[i] = len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return demand, curve
 }
 
 // schemeKey distinguishes schemes in the cache. Configured schemes
@@ -99,13 +317,25 @@ func schemeKey(s core.Scheme) string {
 // dropping it wholesale at the cap is correct and keeps memory bounded.
 const tableMemoCap = 1024
 
+// tableMemo is the pointer-keyed fingerprint memo: a sync.Map from
+// *core.CostTable to its content fingerprint, swapped wholesale for a
+// fresh map at tableMemoCap. Lookups are lock-free, so the hot demand
+// path never serializes on fingerprinting. count tracks the current
+// map's size; under a rare concurrent swap it may briefly overcount by
+// the number of in-flight inserts, which only makes the bound tighter.
+type tableMemo struct {
+	m     atomic.Pointer[sync.Map]
+	count atomic.Int64
+}
+
 // fingerprint returns a content key for the cost table, memoized by
 // pointer (tables are immutable after construction). Content-based keying
 // means two identical tables built by separate BusCosts() calls share
-// cache entries.
+// demand-cache entries even though their pointers differ.
 func (ev *Evaluator) fingerprint(costs *core.CostTable) string {
-	if fp, ok := ev.tables[costs]; ok {
-		return fp
+	m := ev.tables.m.Load()
+	if fp, ok := m.Load(costs); ok {
+		return fp.(string)
 	}
 	fp := costs.Name
 	for _, op := range core.Ops() {
@@ -115,39 +345,83 @@ func (ev *Evaluator) fingerprint(costs *core.CostTable) string {
 		c := costs.Cost(op)
 		fp += fmt.Sprintf("|%d:%x:%x", int(op), c.CPU, c.Interconnect)
 	}
-	if len(ev.tables) >= tableMemoCap {
-		ev.tables = make(map[*core.CostTable]string, tableMemoCap)
+	if ev.tables.count.Load() >= tableMemoCap {
+		if ev.tables.m.CompareAndSwap(m, &sync.Map{}) {
+			ev.tables.count.Store(0)
+		}
+		m = ev.tables.m.Load()
 	}
-	ev.tables[costs] = fp
+	if _, loaded := m.LoadOrStore(costs, fp); !loaded {
+		ev.tables.count.Add(1)
+	}
 	return fp
 }
 
 // Demand is a memoized core.ComputeDemand. The workload is validated
 // first (mirroring ComputeDemand's own order) so an invalid Params always
 // errors even when a canonically equal valid workload is already cached.
-// Error results are not cached.
+// Error results are not cached, and are shared with (not recomputed by)
+// goroutines that deduplicated onto the failing solve.
 func (ev *Evaluator) Demand(s core.Scheme, p core.Params, costs *core.CostTable) (core.Demand, error) {
 	if err := p.Validate(); err != nil {
 		return core.Demand{}, fmt.Errorf("%s: %w", s.Name(), err)
 	}
-	ev.mu.Lock()
 	key := demandKey{schemeKey(s), core.CanonicalParams(s, p), ev.fingerprint(costs)}
-	if d, ok := ev.demands[key]; ok {
-		ev.stats.DemandHits++
-		ev.mu.Unlock()
+	sh := &ev.demands[key.shard()]
+
+	sh.mu.RLock()
+	if sl, ok := sh.entries[key]; ok {
+		d := sl.v
+		sl.ref.Store(true)
+		sh.mu.RUnlock()
+		ev.demandHits.Add(1)
 		return d, nil
 	}
-	ev.mu.Unlock()
+	sh.mu.RUnlock()
 
-	d, err := core.ComputeDemand(s, p, costs)
-	if err != nil {
-		return core.Demand{}, err
+	sh.mu.Lock()
+	if sl, ok := sh.entries[key]; ok { // published while we upgraded the lock
+		d := sl.v
+		sl.ref.Store(true)
+		sh.mu.Unlock()
+		ev.demandHits.Add(1)
+		return d, nil
 	}
-	ev.mu.Lock()
-	ev.stats.DemandSolves++
-	ev.demands[key] = d
-	ev.mu.Unlock()
-	return d, nil
+	if fl, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
+		if ev.waitHook != nil {
+			ev.waitHook()
+		}
+		<-fl.done
+		if fl.err != nil {
+			return core.Demand{}, fl.err
+		}
+		ev.demandDedups.Add(1)
+		return fl.v, nil
+	}
+	fl := &flight[core.Demand]{n: 1, done: make(chan struct{})}
+	sh.inflight[key] = fl
+	sh.mu.Unlock()
+
+	fl.v, fl.err = core.ComputeDemand(s, p, costs)
+	sh.mu.Lock()
+	delete(sh.inflight, key)
+	if fl.err == nil {
+		ev.demandSolves.Add(1)
+		if sh.put(key, fl.v, ev.shardCap) {
+			ev.demandEvictions.Add(1)
+		}
+	}
+	sh.mu.Unlock()
+	close(fl.done)
+	return fl.v, fl.err
+}
+
+// cloneCurve copies the first n results of a cached or in-flight curve
+// so returned slices are caller-owned: the cache's backing arrays are
+// immutable once published, and no two callers ever share one.
+func cloneCurve(c []queueing.SingleServerResult, n int) []queueing.SingleServerResult {
+	return append([]queueing.SingleServerResult(nil), c[:n]...)
 }
 
 // curve returns the MVA results for populations 1..n, reusing (a prefix
@@ -155,32 +429,94 @@ func (ev *Evaluator) Demand(s core.Scheme, p core.Params, costs *core.CostTable)
 // enough. The MVA recursion computes 1..n in one pass, so a longer curve's
 // prefix is bit-identical to a shorter solve.
 //
-// The returned slice never aliases the cached one: the cache previously
-// handed out c[:n] over its own backing array, so one mutating caller
-// silently corrupted every later hit. Cloning on both the hit and the
-// miss path makes returned curves caller-owned.
+// Concurrent misses on one key join an in-flight solve when its target
+// population covers theirs; a request for a longer curve than the one in
+// flight becomes a new leader (superseding the old flight for future
+// waiters) rather than waiting for a result it cannot use. Either way
+// the published curve for a key only ever grows, and every returned
+// slice is a caller-owned clone.
 func (ev *Evaluator) curve(d core.Demand, n int) ([]queueing.SingleServerResult, error) {
 	key := mvaKey{d.Think(), d.Interconnect}
-	ev.mu.Lock()
-	if c, ok := ev.curves[key]; ok && len(c) >= n {
-		ev.stats.MVAHits++
-		out := append([]queueing.SingleServerResult(nil), c[:n]...)
-		ev.mu.Unlock()
+	sh := &ev.curves[key.shard()]
+
+	sh.mu.RLock()
+	if sl, ok := sh.entries[key]; ok && len(sl.v) >= n {
+		sl.ref.Store(true)
+		out := cloneCurve(sl.v, n)
+		sh.mu.RUnlock()
+		ev.mvaHits.Add(1)
 		return out, nil
 	}
-	ev.mu.Unlock()
+	sh.mu.RUnlock()
 
-	c, err := queueing.SingleServerMVA(d.Think(), d.Interconnect, n)
+	sh.mu.Lock()
+	if sl, ok := sh.entries[key]; ok && len(sl.v) >= n {
+		sl.ref.Store(true)
+		out := cloneCurve(sl.v, n)
+		sh.mu.Unlock()
+		ev.mvaHits.Add(1)
+		return out, nil
+	}
+	if fl, ok := sh.inflight[key]; ok && fl.n >= n {
+		sh.mu.Unlock()
+		if ev.waitHook != nil {
+			ev.waitHook()
+		}
+		<-fl.done
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		ev.mvaDedups.Add(1)
+		return cloneCurve(fl.v, n), nil
+	}
+	fl := &flight[[]queueing.SingleServerResult]{n: n, done: make(chan struct{})}
+	sh.inflight[key] = fl
+	sh.mu.Unlock()
+
+	fl.v, fl.err = queueing.SingleServerMVA(d.Think(), d.Interconnect, n)
+	sh.mu.Lock()
+	if sh.inflight[key] == fl { // a longer-curve leader may have superseded us
+		delete(sh.inflight, key)
+	}
+	if fl.err == nil {
+		ev.mvaSolves.Add(1)
+		if sl, ok := sh.entries[key]; !ok || len(sl.v) < len(fl.v) {
+			// The flight's slice becomes the cache-owned immutable copy;
+			// every reader (including the leader below) takes clones.
+			if sh.put(key, fl.v, ev.shardCap) {
+				ev.curveEvictions.Add(1)
+			}
+		}
+	}
+	sh.mu.Unlock()
+	close(fl.done)
+	if fl.err != nil {
+		return nil, fl.err
+	}
+	return cloneCurve(fl.v, n), nil
+}
+
+// curvePoint returns the single MVA result at population n, without the
+// caller-owned-clone cost of curve: the hot single-point path (BusPoint,
+// grid cells, bisections) only reads one element, so copying the whole
+// prefix out of the cache on every hit would be pure memory traffic.
+func (ev *Evaluator) curvePoint(d core.Demand, n int) (queueing.SingleServerResult, error) {
+	key := mvaKey{d.Think(), d.Interconnect}
+	sh := &ev.curves[key.shard()]
+	sh.mu.RLock()
+	if sl, ok := sh.entries[key]; ok && len(sl.v) >= n {
+		sl.ref.Store(true)
+		r := sl.v[n-1]
+		sh.mu.RUnlock()
+		ev.mvaHits.Add(1)
+		return r, nil
+	}
+	sh.mu.RUnlock()
+	c, err := ev.curve(d, n)
 	if err != nil {
-		return nil, err
+		return queueing.SingleServerResult{}, err
 	}
-	ev.mu.Lock()
-	ev.stats.MVASolves++
-	if prev, ok := ev.curves[key]; !ok || len(prev) < len(c) {
-		ev.curves[key] = append([]queueing.SingleServerResult(nil), c...)
-	}
-	ev.mu.Unlock()
-	return c, nil
+	return c[n-1], nil
 }
 
 // EvaluateBus is a memoized core.EvaluateBus: identical results, served
@@ -213,11 +549,11 @@ func (ev *Evaluator) BusPoint(s core.Scheme, p core.Params, costs *core.CostTabl
 	if err != nil {
 		return core.BusPoint{}, err
 	}
-	mva, err := ev.curve(d, nproc)
+	r, err := ev.curvePoint(d, nproc)
 	if err != nil {
 		return core.BusPoint{}, err
 	}
-	return core.BusPointFromMVA(d, mva[nproc-1]), nil
+	return core.BusPointFromMVA(d, r), nil
 }
 
 // BusPower implements core.PowerEvaluator, so the evaluator plugs

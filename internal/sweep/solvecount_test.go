@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"swcc/internal/core"
@@ -89,5 +91,80 @@ func TestAPLToMatchSolveReduction(t *testing.T) {
 					shd, target.Name(), aplC, foundC, aplF, foundF)
 			}
 		}
+	}
+}
+
+// blockingScheme delegates to an inner scheme but parks every
+// Frequencies call on a channel, so a test controls exactly when the
+// singleflight leader's solve completes.
+type blockingScheme struct {
+	inner   core.Scheme
+	release chan struct{}
+}
+
+func (b blockingScheme) Name() string { return "blocking-" + b.inner.Name() }
+
+func (b blockingScheme) Frequencies(p core.Params) ([]core.OpFreq, error) {
+	<-b.release
+	return b.inner.Frequencies(p)
+}
+
+// TestSingleflightColdKeyRace is the dedup acceptance criterion: N
+// goroutines racing one cold (scheme, params, table) key must cost
+// exactly 1 ComputeDemand — the leader's — with the other N-1 waiting on
+// the in-flight solve and sharing its result. The leader's solve parks
+// inside the scheme until the evaluator's wait hook has seen all N-1
+// racers commit to waiting, so the count assertions are deterministic,
+// not timing-dependent.
+func TestSingleflightColdKeyRace(t *testing.T) {
+	const n = 16
+	ev := NewEvaluator()
+	release := make(chan struct{})
+	scheme := blockingScheme{inner: core.Base{}, release: release}
+	var parked atomic.Int32
+	ev.waitHook = func() {
+		if parked.Add(1) == n-1 {
+			close(release)
+		}
+	}
+
+	costs := core.BusCosts()
+	p := core.MiddleParams()
+	demands := make([]core.Demand, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			demands[i], errs[i] = ev.Demand(scheme, p, costs)
+		}(i)
+	}
+	wg.Wait()
+
+	want, err := core.ComputeDemand(core.Base{}, p, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if demands[i] != want {
+			t.Errorf("goroutine %d: demand %+v != fresh %+v", i, demands[i], want)
+		}
+	}
+	st := ev.Stats()
+	if st.DemandSolves != 1 {
+		t.Errorf("N concurrent cold requests cost %d solves, want exactly 1", st.DemandSolves)
+	}
+	if st.DemandDedups != n-1 {
+		t.Errorf("DemandDedups = %d, want %d", st.DemandDedups, n-1)
+	}
+	if st.DemandHits != 0 {
+		t.Errorf("DemandHits = %d, want 0 (no entry existed to hit)", st.DemandHits)
+	}
+	if st.DemandEntries != 1 {
+		t.Errorf("DemandEntries = %d, want 1", st.DemandEntries)
 	}
 }
