@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-hammer bench bench-short bench-json check serve smoke artifacts examples golden cover clean
+.PHONY: all build test vet race race-hammer bench bench-short bench-json check serve smoke loadgen docs-check artifacts examples golden cover clean
 
 all: build vet test
 
@@ -35,12 +35,18 @@ bench-short:
 # Machine-readable record of the concurrency benchmarks (the sharded
 # evaluator under contention at 1/4/8 threads, and the batch endpoint vs
 # sequential calls), captured as test2json events for diffing across PRs.
+# Then the serving-latency record: cohereload drives a hit-heavy and a
+# miss-heavy mix against an in-process daemon and writes the p50/p90/p99
+# summary to BENCH_PR4.json.
 bench-json:
 	$(GO) test -run=NONE -bench='BenchmarkEvaluatorContention' -benchmem \
 		-cpu 1,4,8 -json ./internal/sweep > BENCH_PR3.json
 	$(GO) test -run=NONE -bench='BenchmarkServeBatch' -benchmem \
 		-json ./internal/serve >> BENCH_PR3.json
 	@grep -c '"Action"' BENCH_PR3.json >/dev/null && echo "bench-json: wrote BENCH_PR3.json"
+	$(GO) run ./cmd/cohereload -c 8 -d 3s -hit-ratios 0.95,0.05 \
+		-out BENCH_PR4.json > /dev/null
+	@echo "bench-json: wrote BENCH_PR4.json"
 
 # Focused race hammers: the shared-evaluator and shared-server stress
 # tests, repeated, under the race detector — the concurrency gate on the
@@ -50,9 +56,15 @@ race-hammer:
 		-run 'TestEvaluatorConcurrentHammer|TestSingleflightColdKeyRace|TestConcurrentRequestsBitIdentical' \
 		./internal/sweep ./internal/serve
 
-# The pre-merge gate: vet, the race-enabled test run, and the repeated
-# concurrency hammers.
-check: vet race race-hammer
+# Documentation gate: every exported identifier in the serving stack
+# must carry a doc comment (OPERATIONS.md's drift tests run under
+# `test`/`race`, so the whole docs surface is enforced by `check`).
+docs-check:
+	$(GO) run ./cmd/doccheck
+
+# The pre-merge gate: vet, the race-enabled test run, the repeated
+# concurrency hammers, and the documentation gate.
+check: vet race race-hammer docs-check
 
 # Run the model-serving daemon in the foreground.
 COHERED_ADDR ?= 127.0.0.1:8080
@@ -78,6 +90,13 @@ smoke:
 		| grep -q '"count":2' || { echo "smoke: /v1/sweep failed"; exit 1; }; \
 	kill -TERM $$pid; wait $$pid; \
 	echo "smoke: ok"
+
+# Short load-generation run against an in-process daemon: a hit-heavy
+# and a miss-heavy mix, p50/p90/p99 to stdout (see OPERATIONS.md's
+# latency runbook; LOADGEN_ARGS passes extra cohereload flags, e.g.
+# LOADGEN_ARGS='-addr localhost:8080' to load a running daemon).
+loadgen:
+	$(GO) run ./cmd/cohereload -c 8 -d 2s -hit-ratios 0.95,0.05 $(LOADGEN_ARGS)
 
 # Regenerate every table and figure into artifacts/ (.txt, .csv, .json).
 artifacts:

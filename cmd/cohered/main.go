@@ -6,9 +6,10 @@
 //
 //	cohered [-addr :8080] [-timeout 10s] [-max-inflight N]
 //	        [-max-body BYTES] [-max-procs N] [-max-stages N]
-//	        [-max-batch N] [-cache-cap N] [-quiet]
+//	        [-max-batch N] [-cache-cap N] [-pprof-addr ADDR] [-quiet]
 //
-// Endpoints (see internal/serve):
+// Endpoints (see internal/serve; OPERATIONS.md is the full operator
+// reference):
 //
 //	GET  /healthz         liveness + cache snapshot
 //	GET  /metrics         Prometheus text format
@@ -18,9 +19,15 @@
 //	POST /v1/sensitivity  parameter sensitivity table
 //	POST /v1/sweep        batch of bus-model points in one round trip
 //
+// -pprof-addr, when set, opens a second listener serving only
+// net/http/pprof (profiles, goroutine dumps, execution traces). It is a
+// separate listener on purpose: profiling stays off the API port, so it
+// can be bound to loopback while the API faces the network, and it is
+// off entirely by default.
+//
 // The daemon logs JSON lines to stderr and shuts down gracefully on
-// SIGINT/SIGTERM: the listener closes immediately, in-flight requests get
-// a grace period to finish.
+// SIGINT/SIGTERM: the listeners close immediately, in-flight requests
+// get a grace period to finish.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,10 +57,25 @@ func main() {
 	}
 }
 
+// pprofMux returns a mux serving only the net/http/pprof pages. Built
+// explicitly instead of importing the package for its DefaultServeMux
+// side effect, so the API listener can never accidentally expose
+// profiling routes.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // run starts the daemon and blocks until ctx is cancelled or the server
-// fails. onReady, when non-nil, receives the bound address once the
-// listener is open (tests use it with -addr 127.0.0.1:0).
-func run(ctx context.Context, args []string, stderr io.Writer, onReady func(net.Addr)) error {
+// fails. onReady, when non-nil, receives the bound API address and the
+// bound pprof address (nil when -pprof-addr is unset) once the listeners
+// are open (tests use it with -addr 127.0.0.1:0).
+func run(ctx context.Context, args []string, stderr io.Writer, onReady func(api, pprofAddr net.Addr)) error {
 	fs := flag.NewFlagSet("cohered", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", ":8080", "listen address")
@@ -63,6 +86,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(net.
 	maxStages := fs.Int("max-stages", 20, "largest servable network (2^stages processors)")
 	maxBatch := fs.Int("max-batch", 1024, "largest /v1/sweep batch in points")
 	cacheCap := fs.Int("cache-cap", 0, "cap demand/curve cache entries each, CLOCK-evicting past it (0 = unbounded)")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	grace := fs.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
 	quiet := fs.Bool("quiet", false, "suppress per-request access logs")
 	if err := fs.Parse(args); err != nil {
@@ -101,21 +125,48 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(net.
 		ReadTimeout:  *timeout + 5*time.Second,
 		WriteTimeout: *timeout + 5*time.Second,
 	}
-	logger.Warn("cohered listening", "addr", ln.Addr().String())
-	if onReady != nil {
-		onReady(ln.Addr())
+
+	errc := make(chan error, 2)
+	var pprofLn net.Listener
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pprofLn, err = net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		// No write timeout: CPU profiles and execution traces stream for
+		// their requested duration (30s default, longer via ?seconds=).
+		pprofSrv = &http.Server{Handler: pprofMux(), ReadHeaderTimeout: 5 * time.Second}
+		logger.Warn("pprof listening", "addr", pprofLn.Addr().String())
+		go func() { errc <- pprofSrv.Serve(pprofLn) }()
 	}
 
-	errc := make(chan error, 1)
+	logger.Warn("cohered listening", "addr", ln.Addr().String())
+	if onReady != nil {
+		var pa net.Addr
+		if pprofLn != nil {
+			pa = pprofLn.Addr()
+		}
+		onReady(ln.Addr(), pa)
+	}
+
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
-		return err
+		if !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
 	case <-ctx.Done():
 	}
 	logger.Warn("cohered shutting down", "grace", grace.String())
 	shCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
+	if pprofSrv != nil {
+		// Profiling is best-effort; close it hard rather than spending
+		// grace budget on an in-flight 30-second profile.
+		pprofSrv.Close()
+	}
 	if err := hs.Shutdown(shCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}

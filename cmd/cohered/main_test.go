@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -21,7 +26,7 @@ func TestDaemonLifecycle(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-quiet"}, io.Discard,
-			func(a net.Addr) { addrc <- a })
+			func(a, _ net.Addr) { addrc <- a })
 	}()
 	var base string
 	select {
@@ -78,7 +83,7 @@ func TestBatchFlags(t *testing.T) {
 	go func() {
 		done <- run(ctx, []string{
 			"-addr", "127.0.0.1:0", "-quiet", "-max-batch", "3", "-cache-cap", "32",
-		}, io.Discard, func(a net.Addr) { addrc <- a })
+		}, io.Discard, func(a, _ net.Addr) { addrc <- a })
 	}()
 	var base string
 	select {
@@ -146,6 +151,64 @@ func TestBatchFlags(t *testing.T) {
 	}
 }
 
+// TestPprofListener boots the daemon with -pprof-addr and checks the
+// profiling surface is on the second listener only: /debug/pprof/ serves
+// there, the API port 404s it, and the pprof port knows nothing of the
+// API routes.
+func TestPprofListener(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type addrs struct{ api, pprof net.Addr }
+	addrc := make(chan addrs, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-pprof-addr", "127.0.0.1:0", "-quiet",
+		}, io.Discard, func(a, p net.Addr) { addrc <- addrs{a, p} })
+	}()
+	var got addrs
+	select {
+	case got = <-addrc:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	if got.pprof == nil {
+		t.Fatal("onReady reported no pprof address despite -pprof-addr")
+	}
+
+	get := func(base, path string) (int, string) {
+		resp, err := http.Get("http://" + base + path)
+		if err != nil {
+			t.Fatalf("GET %s%s: %v", base, path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get(got.pprof.String(), "/debug/pprof/goroutine?debug=1"); code != http.StatusOK ||
+		!strings.Contains(body, "goroutine profile") {
+		t.Errorf("pprof goroutine dump: status %d body %.200s", code, body)
+	}
+	if code, _ := get(got.api.String(), "/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("API listener serves pprof routes (status %d); want 404", code)
+	}
+	if code, _ := get(got.pprof.String(), "/healthz"); code != http.StatusNotFound {
+		t.Errorf("pprof listener serves API routes (status %d); want 404", code)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
 // TestBadFlags checks flag errors surface instead of starting a server.
 func TestBadFlags(t *testing.T) {
 	err := run(context.Background(), []string{"-addr"}, io.Discard, nil)
@@ -155,5 +218,44 @@ func TestBadFlags(t *testing.T) {
 	err = run(context.Background(), []string{"positional"}, io.Discard, nil)
 	if err == nil || !strings.Contains(err.Error(), "unexpected arguments") {
 		t.Errorf("positional args accepted: %v", err)
+	}
+}
+
+// TestOperationsDocCoversAllFlags keeps OPERATIONS.md's flags table
+// synchronized with the daemon's actual flag set, both directions:
+// every flag -h reports must appear in the table, and every flag the
+// table lists must still exist.
+func TestOperationsDocCoversAllFlags(t *testing.T) {
+	var usage bytes.Buffer
+	err := run(context.Background(), []string{"-h"}, &usage, nil)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+	real := map[string]bool{}
+	for _, m := range regexp.MustCompile(`(?m)^  -([a-z-]+)`).FindAllStringSubmatch(usage.String(), -1) {
+		real[m[1]] = true
+	}
+	if len(real) == 0 {
+		t.Fatalf("no flags parsed from usage:\n%s", usage.String())
+	}
+
+	doc, err := os.ReadFile("../../OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]bool{}
+	for _, m := range regexp.MustCompile("\\| `-([a-z-]+)` \\|").FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]] = true
+	}
+
+	for f := range real {
+		if !documented[f] {
+			t.Errorf("flag -%s exists but is missing from OPERATIONS.md's flags table", f)
+		}
+	}
+	for f := range documented {
+		if !real[f] {
+			t.Errorf("OPERATIONS.md documents flag -%s, which no longer exists", f)
+		}
 	}
 }

@@ -1,0 +1,376 @@
+// Command cohereload is a load generator for cohered: it drives a mix of
+// /v1/bus and /v1/sweep requests at a configurable concurrency, duration,
+// point mix, and cache-hit ratio, then prints a JSON summary with p50,
+// p90, and p99 latency per scenario.
+//
+// Usage:
+//
+//	cohereload [-addr HOST:PORT] [-c 8] [-d 3s] [-hit-ratios 0.95,0.05]
+//	           [-mix point:4,curve:1,sweep:1] [-warm-pool 64] [-procs 16]
+//	           [-seed 1] [-out FILE]
+//
+// With -addr empty (the default) cohereload boots an in-process daemon —
+// the same serve.Server behind cohered — on an ephemeral loopback port
+// and loads that, so `make bench-json` needs no separately managed
+// process. Point it at a running daemon with -addr to measure a real
+// deployment.
+//
+// The hit ratio is enforced by key choice: "hit" requests draw their
+// workload (the shd parameter) from a small warm pool that is primed
+// before timing starts, so they are served from the evaluator's memo;
+// "miss" requests use a counter-derived never-repeating workload, so
+// they pay a cold solve. Comparing the hit-heavy and miss-heavy
+// scenarios separates time spent in the model from time spent in the
+// serving path — the latency-regression runbook in OPERATIONS.md builds
+// on exactly that comparison.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"swcc/internal/serve"
+)
+
+// loadConfig is one scenario's knobs.
+type loadConfig struct {
+	Concurrency int           // worker goroutines
+	Duration    time.Duration // timed window per scenario
+	HitRatio    float64       // fraction of requests drawn from the warm pool
+	Mix         map[string]int
+	WarmPool    int // distinct warm workloads
+	Procs       int // machine size per query
+	Seed        int64
+}
+
+// percentiles summarizes a latency sample in milliseconds.
+type percentiles struct {
+	P50  float64 `json:"p50_ms"`
+	P90  float64 `json:"p90_ms"`
+	P99  float64 `json:"p99_ms"`
+	Mean float64 `json:"mean_ms"`
+	Max  float64 `json:"max_ms"`
+}
+
+// summary is one scenario's result, the unit of the JSON report.
+type summary struct {
+	Label       string         `json:"label"`
+	HitRatio    float64        `json:"hit_ratio"`
+	Concurrency int            `json:"concurrency"`
+	Duration    float64        `json:"duration_seconds"`
+	Requests    int            `json:"requests"`
+	Errors      int            `json:"errors"`
+	RPS         float64        `json:"requests_per_second"`
+	Latency     percentiles    `json:"latency"`
+	Mix         map[string]int `json:"mix_counts"`
+}
+
+// report is the full document cohereload emits (BENCH_PR4.json's shape).
+type report struct {
+	Tool      string    `json:"tool"`
+	Target    string    `json:"target"`
+	Scenarios []summary `json:"scenarios"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "cohereload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cohereload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "", "target daemon host:port (empty = boot an in-process daemon)")
+	conc := fs.Int("c", 8, "concurrent workers")
+	dur := fs.Duration("d", 3*time.Second, "timed window per scenario")
+	ratios := fs.String("hit-ratios", "0.95,0.05", "comma-separated cache-hit ratios, one scenario each")
+	mixSpec := fs.String("mix", "point:4,curve:1,sweep:1", "request mix as kind:weight pairs (kinds: point, curve, sweep)")
+	warmPool := fs.Int("warm-pool", 64, "distinct workloads in the warm (cache-hit) pool")
+	procs := fs.Int("procs", 16, "machine size per query")
+	seed := fs.Int64("seed", 1, "RNG seed for the request schedule")
+	out := fs.String("out", "", "also write the JSON report to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *conc < 1 || *warmPool < 1 || *procs < 1 || *dur <= 0 {
+		return fmt.Errorf("-c, -warm-pool, -procs must be >= 1 and -d > 0")
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+	var hitRatios []float64
+	for _, s := range strings.Split(*ratios, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || r < 0 || r > 1 {
+			return fmt.Errorf("-hit-ratios: %q is not a ratio in [0,1]", s)
+		}
+		hitRatios = append(hitRatios, r)
+	}
+
+	target := *addr
+	if target == "" {
+		stopSrv, bound, err := startLocalDaemon()
+		if err != nil {
+			return err
+		}
+		defer stopSrv()
+		target = bound
+		fmt.Fprintf(stderr, "cohereload: booted in-process daemon on %s\n", target)
+	}
+	base := "http://" + target
+
+	rep := report{Tool: "cohereload", Target: target}
+	for _, r := range hitRatios {
+		cfg := loadConfig{
+			Concurrency: *conc, Duration: *dur, HitRatio: r,
+			Mix: mix, WarmPool: *warmPool, Procs: *procs, Seed: *seed,
+		}
+		s, err := runLoad(context.Background(), base, cfg)
+		if err != nil {
+			return err
+		}
+		rep.Scenarios = append(rep.Scenarios, s)
+		fmt.Fprintf(stderr, "cohereload: %s: %d requests, %d errors, p50 %.3fms p99 %.3fms\n",
+			s.Label, s.Requests, s.Errors, s.Latency.P50, s.Latency.P99)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := stdout.Write(data); err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// startLocalDaemon boots a serve.Server over real HTTP on an ephemeral
+// loopback port and returns a stop func plus the bound host:port.
+func startLocalDaemon() (func(), string, error) {
+	srv := serve.NewServer(serve.Config{
+		Logger: slog.New(slog.NewJSONHandler(io.Discard, nil)),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return func() { hs.Close() }, ln.Addr().String(), nil
+}
+
+// parseMix turns "point:4,curve:1,sweep:1" into weights.
+func parseMix(spec string) (map[string]int, error) {
+	mix := map[string]int{}
+	total := 0
+	for _, part := range strings.Split(spec, ",") {
+		kind, weight, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("-mix: %q is not kind:weight", part)
+		}
+		switch kind {
+		case "point", "curve", "sweep":
+		default:
+			return nil, fmt.Errorf("-mix: unknown kind %q (want point, curve, or sweep)", kind)
+		}
+		w, err := strconv.Atoi(weight)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("-mix: weight %q is not a non-negative integer", weight)
+		}
+		mix[kind] = w
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("-mix: all weights are zero")
+	}
+	return mix, nil
+}
+
+// warmShd returns the i-th warm-pool workload's shd value.
+func warmShd(i, pool int) float64 {
+	return 0.1 + 0.8*float64(i)/float64(pool)
+}
+
+// missShd derives a practically never-repeating shd from a counter: the
+// fractional part of n times the golden ratio walks the (0.1, 0.9) range
+// without cycling, so each miss request is a distinct cache key. A rare
+// float64-rounding collision only turns one intended miss into a hit,
+// which biases the measured ratio, not the correctness.
+func missShd(n uint64) float64 {
+	const phi = 0.6180339887498949
+	f := float64(n) * phi
+	return 0.1 + 0.8*(f-math.Floor(f))
+}
+
+// runLoad primes the warm pool, then drives cfg's mix at cfg.Concurrency
+// for cfg.Duration and summarizes the latencies.
+func runLoad(ctx context.Context, base string, cfg loadConfig) (summary, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Prime: every warm-pool key solved once, so in-window "hit"
+	// requests measure the cache path, not a first-touch solve.
+	for i := 0; i < cfg.WarmPool; i++ {
+		body := pointBody(warmShd(i, cfg.WarmPool), cfg.Procs)
+		if _, _, err := post(ctx, client, base+"/v1/bus", body); err != nil {
+			return summary{}, fmt.Errorf("priming warm pool: %w", err)
+		}
+	}
+
+	var kinds []string
+	for kind, w := range cfg.Mix {
+		for i := 0; i < w; i++ {
+			kinds = append(kinds, kind)
+		}
+	}
+	sort.Strings(kinds) // map order is random; the schedule should not be
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		mixCounts = map[string]int{}
+		errs      int
+		requests  int
+		missSeq   uint64 // claimed in batches, one per worker draw
+		seqMu     sync.Mutex
+	)
+	nextMiss := func() uint64 {
+		seqMu.Lock()
+		defer seqMu.Unlock()
+		missSeq++
+		return missSeq
+	}
+
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)))
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				kind := kinds[rng.Intn(len(kinds))]
+				hit := rng.Float64() < cfg.HitRatio
+				shd := func() float64 {
+					if hit {
+						return warmShd(rng.Intn(cfg.WarmPool), cfg.WarmPool)
+					}
+					return missShd(nextMiss())
+				}
+				var path, body string
+				switch kind {
+				case "point":
+					path, body = "/v1/bus", pointBody(shd(), cfg.Procs)
+				case "curve":
+					path, body = "/v1/bus", curveBody(shd(), cfg.Procs)
+				case "sweep":
+					pts := make([]string, 8)
+					for i := range pts {
+						pts[i] = pointBody(shd(), cfg.Procs)
+					}
+					path, body = "/v1/sweep", `{"points": [`+strings.Join(pts, ",")+`]}`
+				}
+				start := time.Now()
+				code, _, err := post(ctx, client, base+path, body)
+				elapsed := time.Since(start).Seconds()
+				mu.Lock()
+				requests++
+				mixCounts[kind]++
+				if err != nil || code != http.StatusOK {
+					errs++
+				} else {
+					latencies = append(latencies, elapsed)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	sort.Float64s(latencies)
+	s := summary{
+		Label:       fmt.Sprintf("hit_ratio_%g", cfg.HitRatio),
+		HitRatio:    cfg.HitRatio,
+		Concurrency: cfg.Concurrency,
+		Duration:    cfg.Duration.Seconds(),
+		Requests:    requests,
+		Errors:      errs,
+		RPS:         float64(requests) / cfg.Duration.Seconds(),
+		Latency:     summarize(latencies),
+		Mix:         mixCounts,
+	}
+	return s, nil
+}
+
+func pointBody(shd float64, procs int) string {
+	return fmt.Sprintf(`{"scheme": "swflush", "params": {"shd": %g}, "procs": %d, "point": true}`, shd, procs)
+}
+
+func curveBody(shd float64, procs int) string {
+	return fmt.Sprintf(`{"scheme": "swflush", "params": {"shd": %g}, "procs": %d}`, shd, procs)
+}
+
+func post(ctx context.Context, client *http.Client, url, body string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, "POST", url, strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
+
+// summarize computes percentiles from a sorted sample (milliseconds).
+func summarize(sorted []float64) percentiles {
+	if len(sorted) == 0 {
+		return percentiles{}
+	}
+	q := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i] * 1000
+	}
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return percentiles{
+		P50:  q(0.50),
+		P90:  q(0.90),
+		P99:  q(0.99),
+		Mean: sum / float64(len(sorted)) * 1000,
+		Max:  sorted[len(sorted)-1] * 1000,
+	}
+}

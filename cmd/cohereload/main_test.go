@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadRunProducesReport runs a short two-scenario load against the
+// in-process daemon and checks the report shape: both scenarios present,
+// sane counts, ordered percentiles, and the -out file byte-identical to
+// stdout.
+func TestLoadRunProducesReport(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	err := run([]string{
+		"-c", "4", "-d", "300ms", "-hit-ratios", "1,0",
+		"-warm-pool", "8", "-procs", "8", "-out", outPath,
+	}, &stdout, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not the report JSON: %v\n%s", err, stdout.String())
+	}
+	if len(rep.Scenarios) != 2 {
+		t.Fatalf("want 2 scenarios, got %d", len(rep.Scenarios))
+	}
+	for _, s := range rep.Scenarios {
+		if s.Requests == 0 {
+			t.Errorf("%s: no requests completed", s.Label)
+		}
+		if s.Errors != 0 {
+			t.Errorf("%s: %d errors under a healthy local daemon", s.Label, s.Errors)
+		}
+		l := s.Latency
+		if !(l.P50 <= l.P90 && l.P90 <= l.P99 && l.P99 <= l.Max) {
+			t.Errorf("%s: percentiles out of order: %+v", s.Label, l)
+		}
+		if l.P50 <= 0 {
+			t.Errorf("%s: nonpositive p50 %v", s.Label, l.P50)
+		}
+	}
+
+	fileData, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fileData, stdout.Bytes()) {
+		t.Error("-out file differs from stdout report")
+	}
+}
+
+// TestMissKeysDoNotRepeat pins the hit-ratio mechanism's miss half: the
+// counter-derived workloads stay distinct for far more draws than a
+// bench window issues.
+func TestMissKeysDoNotRepeat(t *testing.T) {
+	seen := make(map[float64]bool, 100000)
+	for n := uint64(1); n <= 100000; n++ {
+		v := missShd(n)
+		if v <= 0 || v >= 1 {
+			t.Fatalf("missShd(%d) = %v, outside (0,1)", n, v)
+		}
+		if seen[v] {
+			t.Fatalf("missShd repeated a key at n=%d", n)
+		}
+		seen[v] = true
+	}
+}
+
+// TestBadFlags checks malformed configuration errors out before any load
+// is generated.
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-hit-ratios", "1.5"},
+		{"-hit-ratios", "nope"},
+		{"-mix", "point"},
+		{"-mix", "bogus:1"},
+		{"-mix", "point:0,curve:0,sweep:0"},
+		{"-c", "0"},
+		{"positional"},
+	} {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("args %v accepted; want error", args)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Command doccheck enforces the repository's documentation floor: every
+// exported identifier in the packages it is pointed at must carry a doc
+// comment, and every package must have a package comment. It exists so
+// `make docs-check` (wired into `make check`) fails the build when code
+// outruns its documentation, the same way the golden drift test fails
+// when /metrics outruns OPERATIONS.md.
+//
+// Usage:
+//
+//	doccheck [package directories...]
+//
+// With no arguments it checks the serving stack's packages
+// (internal/serve, internal/sweep, internal/obs), which OPERATIONS.md
+// and DESIGN.md §9 document in prose and which therefore must stay
+// navigable from godoc alone. Test files are skipped. Exit status is
+// nonzero if any identifier is undocumented, with one "file:line: name"
+// diagnostic per finding.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"internal/serve", "internal/sweep", "internal/obs"}
+	}
+	findings, err := check(dirs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifier(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// check parses every non-test Go file in dirs and returns one
+// "file:line: message" finding per undocumented exported identifier,
+// sorted for stable output.
+func check(dirs []string) ([]string, error) {
+	var findings []string
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		for _, pkg := range pkgs {
+			findings = append(findings, checkPackage(fset, dir, pkg)...)
+		}
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// checkPackage inspects one parsed package: the package comment, every
+// exported func/method, and every exported type, var, const, and struct
+// field or interface method of an exported type.
+func checkPackage(fset *token.FileSet, dir string, pkg *ast.Package) []string {
+	var findings []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
+	}
+
+	hasPkgDoc := false
+	for _, file := range pkg.Files {
+		if file.Doc != nil {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc {
+		findings = append(findings, fmt.Sprintf("%s: package %s has no package comment", filepath.Join(dir, "doc.go"), pkg.Name))
+	}
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					report(d.Pos(), "exported %s %s has no doc comment", funcKind(d), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				findings = append(findings, checkGenDecl(fset, d)...)
+			}
+		}
+	}
+	return findings
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// checkGenDecl handles const/var/type declarations. A doc comment on the
+// grouped declaration covers its members (idiomatic for const blocks);
+// otherwise each exported member needs its own.
+func checkGenDecl(fset *token.FileSet, d *ast.GenDecl) []string {
+	var findings []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
+	}
+	groupDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if !groupDoc && s.Doc == nil {
+				report(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			}
+			switch t := s.Type.(type) {
+			case *ast.StructType:
+				for _, f := range t.Fields.List {
+					for _, name := range f.Names {
+						if name.IsExported() && f.Doc == nil && f.Comment == nil {
+							report(name.Pos(), "exported field %s.%s has no doc comment", s.Name.Name, name.Name)
+						}
+					}
+				}
+			case *ast.InterfaceType:
+				for _, m := range t.Methods.List {
+					for _, name := range m.Names {
+						if name.IsExported() && m.Doc == nil && m.Comment == nil {
+							report(name.Pos(), "exported interface method %s.%s has no doc comment", s.Name.Name, name.Name)
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if groupDoc || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(name.Pos(), "exported %s %s has no doc comment", declKind(d.Tok), name.Name)
+				}
+			}
+		}
+	}
+	return findings
+}
+
+func declKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestFlagsUndocumentedIdentifiers feeds the checker a package missing
+// docs at every level it inspects and checks each gap is reported.
+func TestFlagsUndocumentedIdentifiers(t *testing.T) {
+	dir := writePkg(t, `package x
+
+func Exported() {}
+
+type T struct {
+	Field int
+}
+
+const C = 1
+`)
+	findings, err := check([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(findings, "\n")
+	for _, want := range []string{
+		"no package comment",
+		"function Exported",
+		"type T",
+		"field T.Field",
+		"const C",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("findings missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestAcceptsDocumentedPackage checks a fully documented package — with
+// a grouped const block covered by one comment, the idiom the checker
+// must not flag — comes back clean.
+func TestAcceptsDocumentedPackage(t *testing.T) {
+	dir := writePkg(t, `// Package x is documented.
+package x
+
+// Exported does nothing.
+func Exported() {}
+
+// T is a documented type.
+type T struct {
+	Field int // Field is documented inline.
+}
+
+// Stage names.
+const (
+	A = "a"
+	B = "b"
+)
+
+// unexported needs no doc.
+func unexported() {}
+`)
+	findings, err := check([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("documented package flagged:\n%s", strings.Join(findings, "\n"))
+	}
+}
+
+// TestCheckedPackagesStayClean runs the checker over the packages `make
+// docs-check` gates, from the repo root, so a doc regression fails here
+// as well as in CI's make target.
+func TestCheckedPackagesStayClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(wd)) // cmd/doccheck -> repo root
+	var dirs []string
+	for _, d := range []string{"internal/serve", "internal/sweep", "internal/obs"} {
+		dirs = append(dirs, filepath.Join(root, d))
+	}
+	findings, err := check(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("undocumented exported identifiers:\n%s", strings.Join(findings, "\n"))
+	}
+}

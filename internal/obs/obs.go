@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// --- spans ---
+
+// Span is a started monotonic-clock timer. The zero Span is usable but
+// meaningless (it measures since the zero time); obtain one from Start.
+type Span struct {
+	start time.Time
+}
+
+// Start begins a span at the current monotonic clock reading.
+func Start() Span { return Span{start: time.Now()} }
+
+// Seconds returns the time elapsed since Start as float64 seconds — the
+// unit every histogram in the repository records.
+func (s Span) Seconds() float64 { return time.Since(s.start).Seconds() }
+
+// Elapsed returns the time elapsed since Start.
+func (s Span) Elapsed() time.Duration { return time.Since(s.start) }
+
+// --- histograms ---
+
+// atomicFloat accumulates a float64 with a compare-and-swap loop on its
+// bit pattern, so concurrent adders never take a lock. Addition order
+// under contention is unspecified; float64 sums may therefore differ
+// across runs in the last ulps, which is irrelevant for metrics.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a fixed-bucket latency histogram with wait-free
+// recording: each observation lands in exactly one atomic bin (chosen by
+// binary search over the upper bounds), plus an atomic count and sum.
+// Buckets follow Prometheus "le" semantics: an observation v belongs to
+// the first bucket whose upper bound is >= v; larger observations land
+// in the implicit +Inf overflow bin.
+//
+// Histogram is safe for concurrent use by any number of recorders and
+// snapshotters. See the package comment for the snapshot consistency
+// contract.
+type Histogram struct {
+	bounds []float64
+	bins   []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow bin
+	count  atomic.Uint64
+	sum    atomicFloat
+}
+
+// NewHistogram returns a histogram over the given strictly increasing
+// upper bounds (seconds). It panics on an empty or unsorted bound list —
+// bucket layouts are compile-time decisions, not runtime input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: NewHistogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at index %d", i))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		bins:   make([]atomic.Uint64, len(bounds)+1),
+	}
+	return h
+}
+
+// Observe records one value. Wait-free: one atomic add each to the
+// bin, the count, and the sum.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, or overflow
+	h.bins[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Snapshot is a point-in-time read of a Histogram in Prometheus
+// exposition shape: cumulative bucket counts per bound, with the final
+// entry the +Inf total.
+type Snapshot struct {
+	// Bounds are the bucket upper bounds in seconds, ascending.
+	Bounds []float64
+	// Cumulative has len(Bounds)+1 entries: Cumulative[i] counts
+	// observations <= Bounds[i]; the last entry counts everything (+Inf).
+	Cumulative []uint64
+	// Sum is the total of all observed values, in seconds.
+	Sum float64
+	// Count is the number of observations.
+	Count uint64
+}
+
+// Snapshot reads the histogram. Taken after recorders quiesce it is
+// exact; taken mid-traffic it is approximately consistent (each bin is
+// monotonic, but an in-flight Observe may be visible in one of
+// bin/count/sum and not yet the others).
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]uint64, len(h.bins)),
+		Sum:        h.sum.load(),
+		Count:      h.count.Load(),
+	}
+	var cum uint64
+	for i := range h.bins {
+		cum += h.bins[i].Load()
+		s.Cumulative[i] = cum
+	}
+	return s
+}
+
+// --- trace IDs ---
+
+// traceKey is the private context key for the request trace ID.
+type traceKey struct{}
+
+// WithTraceID returns a context carrying the given trace ID. An empty
+// id returns ctx unchanged.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID returns the trace ID carried by ctx, or "" when the context
+// has none (e.g. work not initiated by a traced request).
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// fallbackSeq numbers trace IDs if the system entropy source ever fails;
+// the IDs stay unique within the process, which is all correlation needs.
+var fallbackSeq atomic.Uint64
+
+// NewTraceID returns a fresh 16-hex-character request trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%016x", fallbackSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether a caller-supplied trace ID is safe to
+// echo into response headers and structured logs: 1..64 characters from
+// [0-9A-Za-z._-]. Anything else (empty, oversized, control characters,
+// separators) should be replaced with NewTraceID rather than propagated.
+func ValidTraceID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

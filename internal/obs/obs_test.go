@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"context"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketSemantics pins the le contract: an observation
+// equal to a bound lands in that bound's bucket, one just above lands in
+// the next, and values past the last bound land only in +Inf.
+func TestHistogramBucketSemantics(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(0.001)  // == first bound -> bucket 0
+	h.Observe(0.0011) // -> bucket 1
+	h.Observe(0.1)    // == last bound -> bucket 2
+	h.Observe(5)      // -> overflow
+	s := h.Snapshot()
+	want := []uint64{1, 2, 3, 4} // cumulative
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d (snapshot %+v)", i, s.Cumulative[i], w, s)
+		}
+	}
+	if s.Count != 4 {
+		t.Errorf("count = %d, want 4", s.Count)
+	}
+	if diff := s.Sum - (0.001 + 0.0011 + 0.1 + 5); diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("sum = %v, off by %v", s.Sum, diff)
+	}
+}
+
+// TestHistogramConcurrentRecording is the -race correctness check the
+// serving layer's atomic-bin design rests on: hammer one histogram from
+// many goroutines and verify not a single observation is lost and the
+// cumulative counts are exact once writers quiesce.
+func TestHistogramConcurrentRecording(t *testing.T) {
+	bounds := []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1}
+	h := NewHistogram(bounds)
+	const workers = 8
+	const perWorker = 18000                                      // divisible by len(values) so every value appears equally often
+	values := []float64{0.0001, 0.0005, 0.002, 0.004, 0.03, 0.2} // spans several bins + overflow
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(values[(w+i)%len(values)])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := h.Snapshot()
+	const total = workers * perWorker
+	if s.Count != total {
+		t.Errorf("count = %d, want %d", s.Count, total)
+	}
+	if last := s.Cumulative[len(s.Cumulative)-1]; last != total {
+		t.Errorf("+Inf cumulative = %d, want %d", last, total)
+	}
+	for i := 1; i < len(s.Cumulative); i++ {
+		if s.Cumulative[i] < s.Cumulative[i-1] {
+			t.Errorf("cumulative not monotonic at %d: %v", i, s.Cumulative)
+		}
+	}
+	// Every value appears exactly total/len(values) times, so the exact
+	// per-bucket expectations are computable.
+	perValue := uint64(total / len(values))
+	wantLE := func(bound float64) uint64 {
+		var n uint64
+		for _, v := range values {
+			if v <= bound {
+				n += perValue
+			}
+		}
+		return n
+	}
+	for i, b := range s.Bounds {
+		if s.Cumulative[i] != wantLE(b) {
+			t.Errorf("cumulative[le=%v] = %d, want %d", b, s.Cumulative[i], wantLE(b))
+		}
+	}
+	var wantSum float64
+	for _, v := range values {
+		wantSum += v * float64(perValue)
+	}
+	if rel := (s.Sum - wantSum) / wantSum; rel > 1e-9 || rel < -1e-9 {
+		t.Errorf("sum = %v, want %v (rel err %v)", s.Sum, wantSum, rel)
+	}
+}
+
+// TestNewHistogramRejectsBadBounds checks layout mistakes fail fast.
+func TestNewHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+// TestSpanMeasuresElapsed sanity-checks the monotonic timer.
+func TestSpanMeasuresElapsed(t *testing.T) {
+	sp := Start()
+	time.Sleep(10 * time.Millisecond)
+	if got := sp.Seconds(); got < 0.005 || got > 5 {
+		t.Errorf("span measured %v s around a 10ms sleep", got)
+	}
+	if sp.Elapsed() <= 0 {
+		t.Error("Elapsed not positive")
+	}
+}
+
+// TestTraceIDContextRoundTrip checks ctx carriage and the empty cases.
+func TestTraceIDContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceID(ctx); got != "" {
+		t.Errorf("TraceID(background) = %q", got)
+	}
+	ctx2 := WithTraceID(ctx, "abc-123")
+	if got := TraceID(ctx2); got != "abc-123" {
+		t.Errorf("TraceID = %q, want abc-123", got)
+	}
+	if WithTraceID(ctx, "") != ctx {
+		t.Error("WithTraceID(\"\") should return ctx unchanged")
+	}
+}
+
+// TestNewTraceIDShape checks generated IDs are well-formed and unique
+// enough to correlate logs.
+func TestNewTraceIDShape(t *testing.T) {
+	re := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if !re.MatchString(id) {
+			t.Fatalf("trace ID %q not 16 lowercase hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q within 100 draws", id)
+		}
+		seen[id] = true
+		if !ValidTraceID(id) {
+			t.Fatalf("generated ID %q fails ValidTraceID", id)
+		}
+	}
+}
+
+// TestValidTraceID sweeps the accept/reject boundary for caller-supplied
+// IDs.
+func TestValidTraceID(t *testing.T) {
+	valid := []string{"a", "req-1", "A_b.c-9", "0123456789abcdef"}
+	for _, s := range valid {
+		if !ValidTraceID(s) {
+			t.Errorf("ValidTraceID(%q) = false, want true", s)
+		}
+	}
+	invalid := []string{"", "has space", "new\nline", "semi;colon", "ctrl\x00",
+		string(make([]byte, 65)), "quote\"inside"}
+	for _, s := range invalid {
+		if ValidTraceID(s) {
+			t.Errorf("ValidTraceID(%q) = true, want false", s)
+		}
+	}
+}

@@ -87,14 +87,14 @@ func (s *Server) handleSweep(ctx context.Context, body []byte) (any, error) {
 			j := jobs[i]
 			resp := busResponse{Scheme: schemeLabel(j.scheme), Costs: costs.Name, Procs: j.procs}
 			if j.point {
-				pt, err := s.ev.BusPoint(j.scheme, j.params, costs, j.procs)
+				pt, err := s.ev.BusPointCtx(ctx, j.scheme, j.params, costs, j.procs)
 				if err != nil {
 					errs[i] = err
 					return nil
 				}
 				resp.Points = []core.BusPoint{pt}
 			} else {
-				pts, err := s.ev.EvaluateBus(j.scheme, j.params, costs, j.procs)
+				pts, err := s.ev.EvaluateBusCtx(ctx, j.scheme, j.params, costs, j.procs)
 				if err != nil {
 					errs[i] = err
 					return nil

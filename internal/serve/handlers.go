@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"swcc/internal/core"
+	"swcc/internal/obs"
 	"swcc/internal/sensitivity"
 	"swcc/internal/sweep"
 )
@@ -22,6 +23,7 @@ type httpError struct {
 	msg  string
 }
 
+// Error returns the message sent to the client.
 func (e *httpError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) error {
@@ -57,6 +59,9 @@ func (s *Server) apiHandler(fn apiFunc) http.HandlerFunc {
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		// Open the decode/validate stage: solve() closes it when the
+		// handler crosses from validation into model work.
+		ctx = context.WithValue(ctx, validateStartKey{}, obs.Start())
 		v, err := fn(ctx, body)
 		if err != nil {
 			s.writeError(w, err)
@@ -244,14 +249,14 @@ func (s *Server) handleBus(ctx context.Context, body []byte) (any, error) {
 	return s.solve(ctx, func() (any, error) {
 		resp := busResponse{Scheme: schemeLabel(scheme), Costs: costs.Name, Procs: procs}
 		if req.Point {
-			pt, err := s.ev.BusPoint(scheme, p, costs, procs)
+			pt, err := s.ev.BusPointCtx(ctx, scheme, p, costs, procs)
 			if err != nil {
 				return nil, err
 			}
 			resp.Points = []core.BusPoint{pt}
 			return resp, nil
 		}
-		pts, err := s.ev.EvaluateBus(scheme, p, costs, procs)
+		pts, err := s.ev.EvaluateBusCtx(ctx, scheme, p, costs, procs)
 		if err != nil {
 			return nil, err
 		}

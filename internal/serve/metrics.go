@@ -8,41 +8,77 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"swcc/internal/obs"
 	"swcc/internal/sweep"
 )
 
-// latencyBuckets are the histogram upper bounds in seconds. Model solves
-// are sub-millisecond when cached, so the low end is fine-grained; the
-// top buckets catch limiter waits and big sensitivity grids.
+// latencyBuckets are the histogram upper bounds in seconds, log-spaced.
+// Model solves are sub-millisecond when cached, so the low end is
+// fine-grained; the top buckets catch limiter waits and big sensitivity
+// grids. Every histogram family (aggregate, per-endpoint, per-stage)
+// shares this layout so distributions are comparable across series.
 var latencyBuckets = []float64{
 	.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
 }
 
+// stageValidate is the serving layer's own pipeline stage: decoding and
+// validating the request body before any model work. The remaining
+// stages (cache lookup, singleflight wait, cold solve) are reported by
+// the evaluator via sweep.Observer.
+const stageValidate = "validate"
+
+// stageNames is every value of the swcc_stage_duration_seconds stage
+// label, in render order. Fixed at construction so stage recording is a
+// lock-free map read and /metrics output is byte-stable.
+var stageNames = []string{
+	stageValidate, sweep.StageCacheLookup, sweep.StageDedupWait, sweep.StageSolve,
+}
+
 // metrics is the server's hand-rolled metric registry: request counters
-// by (path, code), an in-flight gauge, and one latency histogram. It
-// renders Prometheus text format directly — no dependencies, stable
-// output ordering.
+// by (path, code), an in-flight gauge, and latency histograms
+// (aggregate, per endpoint, per pipeline stage). It renders Prometheus
+// text format directly — no dependencies, byte-stable output ordering.
 //
-// The hot counters (in-flight gauge, per-(path, code) requests) are
-// atomics so concurrent request completions never serialize on a
-// registry mutex; only the latency histogram keeps a lock, because one
-// observation updates every bucket at or above it plus the sum/count
-// pair, which must stay mutually consistent.
+// Everything on the hot path is lock-free: the gauge and per-(path,
+// code) counters are atomics, and the histograms are obs.Histogram
+// (one atomic add per observation). Rendering takes no lock either — a
+// scrape is a point-in-time snapshot that may be approximately
+// consistent under concurrent traffic (see internal/obs), which is the
+// deliberate trade for never serializing request completions on a
+// registry mutex (DESIGN.md §9).
 type metrics struct {
 	requests sync.Map // [2]string{path, code} -> *atomic.Uint64
 	inFlight atomic.Int64
 
-	histMu  sync.Mutex
-	buckets []uint64 // cumulative-at-render counts per latencyBuckets entry
-	sum     float64  // total observed seconds
-	count   uint64   // total observations
+	latency *obs.Histogram            // all requests, any path
+	byPath  map[string]*obs.Histogram // per known endpoint (+ "other"); read-only after construction
+	byStage map[string]*obs.Histogram // per pipeline stage; read-only after construction
+	paths   []string                  // sorted byPath keys, the render order
 }
 
 func newMetrics() *metrics {
-	return &metrics{
-		buckets: make([]uint64, len(latencyBuckets)),
+	m := &metrics{
+		latency: obs.NewHistogram(latencyBuckets),
+		byPath:  map[string]*obs.Histogram{},
+		byStage: map[string]*obs.Histogram{},
 	}
+	for p := range knownPaths {
+		m.byPath[p] = obs.NewHistogram(latencyBuckets)
+	}
+	m.byPath[pathOther] = obs.NewHistogram(latencyBuckets)
+	for p := range m.byPath {
+		m.paths = append(m.paths, p)
+	}
+	sort.Strings(m.paths)
+	for _, st := range stageNames {
+		m.byStage[st] = obs.NewHistogram(latencyBuckets)
+	}
+	return m
 }
+
+// pathOther is the label value capping endpoint cardinality: anything
+// unrouted counts here instead of minting a series per probed URL.
+const pathOther = "other"
 
 // knownPaths caps label cardinality: anything unrouted counts as "other".
 var knownPaths = map[string]bool{
@@ -56,7 +92,7 @@ func metricPath(path string) string {
 	if knownPaths[path] {
 		return path
 	}
-	return "other"
+	return pathOther
 }
 
 func (m *metrics) requestStarted() {
@@ -65,27 +101,54 @@ func (m *metrics) requestStarted() {
 
 func (m *metrics) requestDone(path string, code int, seconds float64) {
 	m.inFlight.Add(-1)
-	key := [2]string{metricPath(path), strconv.Itoa(code)}
+	p := metricPath(path)
+	key := [2]string{p, strconv.Itoa(code)}
 	c, ok := m.requests.Load(key)
 	if !ok {
 		c, _ = m.requests.LoadOrStore(key, new(atomic.Uint64))
 	}
 	c.(*atomic.Uint64).Add(1)
+	m.latency.Observe(seconds)
+	m.byPath[p].Observe(seconds)
+}
 
-	m.histMu.Lock()
-	for i, ub := range latencyBuckets {
-		if seconds <= ub {
-			m.buckets[i]++
-		}
+// observeStage records one pipeline-stage duration. Unknown stage names
+// are dropped rather than minting series, keeping the stage label set
+// exactly what OPERATIONS.md documents.
+func (m *metrics) observeStage(stage string, seconds float64) {
+	if h := m.byStage[stage]; h != nil {
+		h.Observe(seconds)
 	}
-	m.sum += seconds
-	m.count++
-	m.histMu.Unlock()
+}
+
+// writeHistogram renders one histogram family member in Prometheus text
+// form. labels is either empty or a `key="value",` prefix placed before
+// the le label.
+func writeHistogram(w io.Writer, name, labels string, s obs.Snapshot) {
+	for i, ub := range s.Bounds {
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n",
+			name, labels, strconv.FormatFloat(ub, 'g', -1, 64), s.Cumulative[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, s.Count)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, bracketed(labels), s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, bracketed(labels), s.Count)
+}
+
+// bracketed wraps a non-empty `key="value",` label prefix into the
+// `{key="value"}` form used on _sum/_count series.
+func bracketed(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels[:len(labels)-1] + "}"
 }
 
 // write renders the registry plus the evaluator's cache counters, the
 // singleflight/eviction series, and the per-shard size gauges in
-// Prometheus text exposition format.
+// Prometheus text exposition format. The output is byte-stable: families
+// render in a fixed order and every labeled family's series are sorted,
+// so two scrapes of an idle server are byte-identical (the golden
+// doc-drift and stability tests depend on this).
 func (m *metrics) write(w io.Writer, ev *sweep.Evaluator) {
 	st := ev.Stats()
 
@@ -130,6 +193,8 @@ func (m *metrics) write(w io.Writer, ev *sweep.Evaluator) {
 		reqs = append(reqs, reqCount{k.([2]string), v.(*atomic.Uint64).Load()})
 		return true
 	})
+	// sync.Map iteration order is nondeterministic; sorting here is what
+	// keeps scrapes byte-stable.
 	sort.Slice(reqs, func(i, j int) bool {
 		if reqs[i].key[0] != reqs[j].key[0] {
 			return reqs[i].key[0] < reqs[j].key[0]
@@ -142,14 +207,18 @@ func (m *metrics) write(w io.Writer, ev *sweep.Evaluator) {
 
 	fmt.Fprintf(w, "# HELP swcc_http_in_flight Requests currently being served.\n# TYPE swcc_http_in_flight gauge\nswcc_http_in_flight %d\n", m.inFlight.Load())
 
-	m.histMu.Lock()
-	defer m.histMu.Unlock()
 	fmt.Fprintf(w, "# HELP swcc_http_request_duration_seconds Request latency.\n# TYPE swcc_http_request_duration_seconds histogram\n")
-	for i, ub := range latencyBuckets {
-		fmt.Fprintf(w, "swcc_http_request_duration_seconds_bucket{le=%q} %d\n",
-			strconv.FormatFloat(ub, 'g', -1, 64), m.buckets[i])
+	writeHistogram(w, "swcc_http_request_duration_seconds", "", m.latency.Snapshot())
+
+	fmt.Fprintf(w, "# HELP swcc_http_endpoint_duration_seconds Request latency by endpoint.\n# TYPE swcc_http_endpoint_duration_seconds histogram\n")
+	for _, p := range m.paths {
+		writeHistogram(w, "swcc_http_endpoint_duration_seconds",
+			fmt.Sprintf("path=%q,", p), m.byPath[p].Snapshot())
 	}
-	fmt.Fprintf(w, "swcc_http_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.count)
-	fmt.Fprintf(w, "swcc_http_request_duration_seconds_sum %g\n", m.sum)
-	fmt.Fprintf(w, "swcc_http_request_duration_seconds_count %d\n", m.count)
+
+	fmt.Fprintf(w, "# HELP swcc_stage_duration_seconds Wall time per request pipeline stage (validate, cache_lookup, singleflight_wait, solve).\n# TYPE swcc_stage_duration_seconds histogram\n")
+	for _, st := range stageNames {
+		writeHistogram(w, "swcc_stage_duration_seconds",
+			fmt.Sprintf("stage=%q,", st), m.byStage[st].Snapshot())
+	}
 }

@@ -1,29 +1,3 @@
-// Package serve is the HTTP model-serving layer: a JSON API over the
-// analytical model, backed by one shared memoizing sweep.Evaluator so a
-// long-running daemon amortizes demand and MVA solves across requests.
-//
-// The package provides the handler tree and production plumbing — strict
-// input validation (unknown fields, NaN/Inf, and out-of-range workload
-// parameters are rejected at the boundary with 400s), per-request
-// timeouts, a concurrency limiter with backpressure, request body size
-// caps, panic recovery, structured access logs, and Prometheus-style
-// metrics — while cmd/cohered owns the process concerns (flags, signals,
-// graceful shutdown).
-//
-// Endpoints:
-//
-//	GET  /healthz         liveness + cache snapshot
-//	GET  /metrics         Prometheus text format
-//	POST /v1/bus          bus-model curve or single point
-//	POST /v1/network      multistage-network point (Patel or MVA variant)
-//	POST /v1/advisor      scheme rankings for a workload
-//	POST /v1/sensitivity  one-at-a-time parameter sensitivity table
-//	POST /v1/sweep        batch of bus-model points in one round trip
-//
-// Every response is bit-identical to the equivalent library call: the
-// handlers route through the same sweep.Evaluator code paths the CLIs
-// use, and the evaluator's determinism contract (see internal/sweep)
-// guarantees cache hits reproduce miss-path results exactly.
 package serve
 
 import (
@@ -35,6 +9,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"swcc/internal/obs"
 	"swcc/internal/sweep"
 )
 
@@ -112,16 +87,43 @@ type Server struct {
 }
 
 // NewServer returns a server with a fresh evaluator cache, bounded when
-// cfg.CacheCap is set.
+// cfg.CacheCap is set. The evaluator is wired to the server's metrics
+// registry (stage histograms) and logger (debug-level cache events with
+// trace IDs) before it sees any traffic.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		ev:    sweep.NewEvaluatorCap(cfg.CacheCap),
 		met:   newMetrics(),
 		log:   cfg.Logger,
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		start: time.Now(),
+	}
+	s.ev.SetObserver(evalObserver{met: s.met, log: s.log})
+	return s
+}
+
+// evalObserver adapts the server's metrics registry and logger to the
+// evaluator's sweep.Observer interface: stage wall times land in the
+// per-stage histograms, and cache events become debug-level log lines
+// carrying the request's trace ID (free when debug logging is off).
+type evalObserver struct {
+	met *metrics
+	log *slog.Logger
+}
+
+// StageObserved records one evaluator stage duration into the stage
+// histogram family.
+func (o evalObserver) StageObserved(ctx context.Context, stage string, seconds float64) {
+	o.met.observeStage(stage, seconds)
+}
+
+// CacheEvent logs one evaluator cache event at debug level with the
+// request's trace ID, so `-quiet` daemons pay only an Enabled check.
+func (o evalObserver) CacheEvent(ctx context.Context, cache, event string) {
+	if o.log.Enabled(ctx, slog.LevelDebug) {
+		o.log.Debug("cache event", "cache", cache, "event", event, "trace", obs.TraceID(ctx))
 	}
 }
 
@@ -147,13 +149,27 @@ func (s *Server) Handler() http.Handler {
 // handler maps it to 503.
 var errBusy = fmt.Errorf("serve: all %s slots busy", "model")
 
+// validateStartKey carries the apiHandler's decode/validate span through
+// the context so solve can close the stage at the validation/model-work
+// boundary.
+type validateStartKey struct{}
+
 // solve runs fn under the concurrency limiter with the request context's
 // deadline. Waiting for a slot and solving share one budget; a request
 // that times out while queued fails errBusy (503), one that times out
 // mid-solve fails ctx.Err() (504). A timed-out solve keeps its slot
 // until the goroutine finishes, so MaxInFlight bounds real model work
 // even when clients have given up.
+//
+// Entering solve is also the decode/validate stage boundary: everything
+// the handler did between reading the body and calling solve was
+// decoding and validation, and that wall time is recorded into the
+// "validate" stage histogram here (requests rejected before solve are
+// not part of the stage series — they never reach model work).
 func (s *Server) solve(ctx context.Context, fn func() (any, error)) (any, error) {
+	if sp, ok := ctx.Value(validateStartKey{}).(obs.Span); ok {
+		s.met.observeStage(stageValidate, sp.Seconds())
+	}
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():

@@ -1,0 +1,26 @@
+// Package sweep is the repo's batched, parallel evaluation layer for the
+// analytical model: a worker-pool engine that evaluates grids of
+// (scheme, workload, machine-size) points deterministically, and a
+// memoizing evaluator that deduplicates the ComputeDemand and
+// SingleServerMVA solves underneath repeated model queries (sensitivity
+// tables, bisections, advisor rankings, parameter sweeps).
+//
+// Determinism: every solve is a pure function of its inputs, results are
+// written into caller-indexed slots, and cache hits return values the
+// same code path produced on the miss — so parallel and cached runs are
+// bit-identical to sequential fresh runs regardless of scheduling.
+// Cached results are bit-identical to cold solves: the cache only
+// decides who computes and where the bytes live, never what they are,
+// and eviction under a capped evaluator costs a re-solve, never a
+// different answer.
+//
+// Observability: an Evaluator optionally reports what it is doing
+// through an Observer (SetObserver) — per-stage wall time for the cache
+// lookup, the singleflight wait, and the cold solve, plus discrete
+// hit/miss/dedup-join/evict events. Callers that care about correlating
+// those events with a specific request thread a trace-carrying
+// context.Context through the *Ctx method variants (DemandCtx,
+// EvaluateBusCtx, BusPointCtx); the context is observability-only — it
+// never changes what is computed, and the non-Ctx methods are exactly
+// the Ctx ones under context.Background().
+package sweep

@@ -1,25 +1,62 @@
-// Package sweep is the repo's batched, parallel evaluation layer for the
-// analytical model: a worker-pool engine that evaluates grids of
-// (scheme, workload, machine-size) points deterministically, and a
-// memoizing evaluator that deduplicates the ComputeDemand and
-// SingleServerMVA solves underneath repeated model queries (sensitivity
-// tables, bisections, advisor rankings, parameter sweeps).
-//
-// Determinism: every solve is a pure function of its inputs, results are
-// written into caller-indexed slots, and cache hits return values the
-// same code path produced on the miss — so parallel and cached runs are
-// bit-identical to sequential fresh runs regardless of scheduling.
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 
 	"swcc/internal/core"
+	"swcc/internal/obs"
 	"swcc/internal/queueing"
 )
+
+// Stage names the Evaluator reports through an Observer. Together with
+// the serving layer's validate stage they decompose one request's wall
+// time the way the paper's Tables 1–6 decompose a scheme's cycle cost:
+// per component, not just in aggregate.
+const (
+	// StageCacheLookup is the time to decide hit-or-miss on the fast
+	// (read-locked) path, including copying the value out on a hit.
+	StageCacheLookup = "cache_lookup"
+	// StageDedupWait is the time a deduplicated miss spent parked on
+	// another goroutine's in-flight solve.
+	StageDedupWait = "singleflight_wait"
+	// StageSolve is the time of a real cold solve (core.ComputeDemand or
+	// queueing.SingleServerMVA).
+	StageSolve = "solve"
+)
+
+// Cache event names the Evaluator reports through an Observer. The
+// cache label is "demand" or "mva", matching the /metrics label values.
+const (
+	// EventHit is a query answered from the memo.
+	EventHit = "hit"
+	// EventMiss is a query that led a cold solve.
+	EventMiss = "miss"
+	// EventDedupJoin is a miss that joined another goroutine's in-flight
+	// solve instead of re-solving.
+	EventDedupJoin = "dedup_join"
+	// EventEvict is an entry dropped by the bounded-capacity CLOCK
+	// policy to make room.
+	EventEvict = "evict"
+)
+
+// Observer receives the evaluator's stage timings and cache events.
+// Implementations must be safe for concurrent use; calls happen on the
+// query's goroutine with the query's context, so an observer can read
+// the trace ID (obs.TraceID) to correlate events with a request. The
+// evaluator never blocks correctness on an observer — it is telemetry
+// only.
+type Observer interface {
+	// StageObserved reports that one pipeline stage took the given wall
+	// time in seconds. Stage is one of the Stage* constants.
+	StageObserved(ctx context.Context, stage string, seconds float64)
+	// CacheEvent reports a discrete cache outcome. Cache is "demand" or
+	// "mva"; event is one of the Event* constants.
+	CacheEvent(ctx context.Context, cache, event string)
+}
 
 // Stats counts the evaluator's cache traffic. A "solve" is one real
 // ComputeDemand or one SingleServerMVA recursion; hits served from memory
@@ -211,11 +248,21 @@ type Evaluator struct {
 	mvaSolves, mvaHits, mvaDedups          atomic.Uint64
 	demandEvictions, curveEvictions        atomic.Uint64
 
+	// obsv, when non-nil, receives stage timings and cache events. Set
+	// once via SetObserver before the evaluator sees traffic; nil (the
+	// default) makes every instrumentation point a single branch.
+	obsv Observer
+
 	// waitHook, when non-nil, runs on the singleflight wait path after a
 	// goroutine has committed to waiting on another's in-flight solve.
 	// Tests use it to hold a solve open until every racer is parked.
 	waitHook func()
 }
+
+// SetObserver installs the evaluator's telemetry sink. It must be called
+// before the evaluator is shared across goroutines (typically right
+// after construction); passing nil disables observation.
+func (ev *Evaluator) SetObserver(o Observer) { ev.obsv = o }
 
 // NewEvaluator returns an empty, unbounded cache.
 func NewEvaluator() *Evaluator { return NewEvaluatorCap(0) }
@@ -363,18 +410,33 @@ func (ev *Evaluator) fingerprint(costs *core.CostTable) string {
 // Error results are not cached, and are shared with (not recomputed by)
 // goroutines that deduplicated onto the failing solve.
 func (ev *Evaluator) Demand(s core.Scheme, p core.Params, costs *core.CostTable) (core.Demand, error) {
+	return ev.DemandCtx(context.Background(), s, p, costs)
+}
+
+// DemandCtx is Demand with an observability context: the computation is
+// identical, but stage timings and cache events reported to the
+// evaluator's Observer carry ctx (and hence its trace ID).
+func (ev *Evaluator) DemandCtx(ctx context.Context, s core.Scheme, p core.Params, costs *core.CostTable) (core.Demand, error) {
 	if err := p.Validate(); err != nil {
 		return core.Demand{}, fmt.Errorf("%s: %w", s.Name(), err)
 	}
 	key := demandKey{schemeKey(s), core.CanonicalParams(s, p), ev.fingerprint(costs)}
 	sh := &ev.demands[key.shard()]
 
+	var sp obs.Span
+	if ev.obsv != nil {
+		sp = obs.Start()
+	}
 	sh.mu.RLock()
 	if sl, ok := sh.entries[key]; ok {
 		d := sl.v
 		sl.ref.Store(true)
 		sh.mu.RUnlock()
 		ev.demandHits.Add(1)
+		if ev.obsv != nil {
+			ev.obsv.StageObserved(ctx, StageCacheLookup, sp.Seconds())
+			ev.obsv.CacheEvent(ctx, "demand", EventHit)
+		}
 		return d, nil
 	}
 	sh.mu.RUnlock()
@@ -385,6 +447,10 @@ func (ev *Evaluator) Demand(s core.Scheme, p core.Params, costs *core.CostTable)
 		sl.ref.Store(true)
 		sh.mu.Unlock()
 		ev.demandHits.Add(1)
+		if ev.obsv != nil {
+			ev.obsv.StageObserved(ctx, StageCacheLookup, sp.Seconds())
+			ev.obsv.CacheEvent(ctx, "demand", EventHit)
+		}
 		return d, nil
 	}
 	if fl, ok := sh.inflight[key]; ok {
@@ -392,28 +458,51 @@ func (ev *Evaluator) Demand(s core.Scheme, p core.Params, costs *core.CostTable)
 		if ev.waitHook != nil {
 			ev.waitHook()
 		}
+		var wsp obs.Span
+		if ev.obsv != nil {
+			wsp = obs.Start()
+		}
 		<-fl.done
+		if ev.obsv != nil {
+			ev.obsv.StageObserved(ctx, StageDedupWait, wsp.Seconds())
+		}
 		if fl.err != nil {
 			return core.Demand{}, fl.err
 		}
 		ev.demandDedups.Add(1)
+		if ev.obsv != nil {
+			ev.obsv.CacheEvent(ctx, "demand", EventDedupJoin)
+		}
 		return fl.v, nil
 	}
 	fl := &flight[core.Demand]{n: 1, done: make(chan struct{})}
 	sh.inflight[key] = fl
 	sh.mu.Unlock()
 
+	var ssp obs.Span
+	if ev.obsv != nil {
+		ssp = obs.Start()
+	}
 	fl.v, fl.err = core.ComputeDemand(s, p, costs)
+	if ev.obsv != nil {
+		ev.obsv.StageObserved(ctx, StageSolve, ssp.Seconds())
+		ev.obsv.CacheEvent(ctx, "demand", EventMiss)
+	}
+	evicted := false
 	sh.mu.Lock()
 	delete(sh.inflight, key)
 	if fl.err == nil {
 		ev.demandSolves.Add(1)
 		if sh.put(key, fl.v, ev.shardCap) {
 			ev.demandEvictions.Add(1)
+			evicted = true
 		}
 	}
 	sh.mu.Unlock()
 	close(fl.done)
+	if evicted && ev.obsv != nil {
+		ev.obsv.CacheEvent(ctx, "demand", EventEvict)
+	}
 	return fl.v, fl.err
 }
 
@@ -435,16 +524,24 @@ func cloneCurve(c []queueing.SingleServerResult, n int) []queueing.SingleServerR
 // waiters) rather than waiting for a result it cannot use. Either way
 // the published curve for a key only ever grows, and every returned
 // slice is a caller-owned clone.
-func (ev *Evaluator) curve(d core.Demand, n int) ([]queueing.SingleServerResult, error) {
+func (ev *Evaluator) curve(ctx context.Context, d core.Demand, n int) ([]queueing.SingleServerResult, error) {
 	key := mvaKey{d.Think(), d.Interconnect}
 	sh := &ev.curves[key.shard()]
 
+	var sp obs.Span
+	if ev.obsv != nil {
+		sp = obs.Start()
+	}
 	sh.mu.RLock()
 	if sl, ok := sh.entries[key]; ok && len(sl.v) >= n {
 		sl.ref.Store(true)
 		out := cloneCurve(sl.v, n)
 		sh.mu.RUnlock()
 		ev.mvaHits.Add(1)
+		if ev.obsv != nil {
+			ev.obsv.StageObserved(ctx, StageCacheLookup, sp.Seconds())
+			ev.obsv.CacheEvent(ctx, "mva", EventHit)
+		}
 		return out, nil
 	}
 	sh.mu.RUnlock()
@@ -455,6 +552,10 @@ func (ev *Evaluator) curve(d core.Demand, n int) ([]queueing.SingleServerResult,
 		out := cloneCurve(sl.v, n)
 		sh.mu.Unlock()
 		ev.mvaHits.Add(1)
+		if ev.obsv != nil {
+			ev.obsv.StageObserved(ctx, StageCacheLookup, sp.Seconds())
+			ev.obsv.CacheEvent(ctx, "mva", EventHit)
+		}
 		return out, nil
 	}
 	if fl, ok := sh.inflight[key]; ok && fl.n >= n {
@@ -462,18 +563,37 @@ func (ev *Evaluator) curve(d core.Demand, n int) ([]queueing.SingleServerResult,
 		if ev.waitHook != nil {
 			ev.waitHook()
 		}
+		var wsp obs.Span
+		if ev.obsv != nil {
+			wsp = obs.Start()
+		}
 		<-fl.done
+		if ev.obsv != nil {
+			ev.obsv.StageObserved(ctx, StageDedupWait, wsp.Seconds())
+		}
 		if fl.err != nil {
 			return nil, fl.err
 		}
 		ev.mvaDedups.Add(1)
+		if ev.obsv != nil {
+			ev.obsv.CacheEvent(ctx, "mva", EventDedupJoin)
+		}
 		return cloneCurve(fl.v, n), nil
 	}
 	fl := &flight[[]queueing.SingleServerResult]{n: n, done: make(chan struct{})}
 	sh.inflight[key] = fl
 	sh.mu.Unlock()
 
+	var ssp obs.Span
+	if ev.obsv != nil {
+		ssp = obs.Start()
+	}
 	fl.v, fl.err = queueing.SingleServerMVA(d.Think(), d.Interconnect, n)
+	if ev.obsv != nil {
+		ev.obsv.StageObserved(ctx, StageSolve, ssp.Seconds())
+		ev.obsv.CacheEvent(ctx, "mva", EventMiss)
+	}
+	evicted := false
 	sh.mu.Lock()
 	if sh.inflight[key] == fl { // a longer-curve leader may have superseded us
 		delete(sh.inflight, key)
@@ -485,11 +605,15 @@ func (ev *Evaluator) curve(d core.Demand, n int) ([]queueing.SingleServerResult,
 			// every reader (including the leader below) takes clones.
 			if sh.put(key, fl.v, ev.shardCap) {
 				ev.curveEvictions.Add(1)
+				evicted = true
 			}
 		}
 	}
 	sh.mu.Unlock()
 	close(fl.done)
+	if evicted && ev.obsv != nil {
+		ev.obsv.CacheEvent(ctx, "mva", EventEvict)
+	}
 	if fl.err != nil {
 		return nil, fl.err
 	}
@@ -500,19 +624,27 @@ func (ev *Evaluator) curve(d core.Demand, n int) ([]queueing.SingleServerResult,
 // caller-owned-clone cost of curve: the hot single-point path (BusPoint,
 // grid cells, bisections) only reads one element, so copying the whole
 // prefix out of the cache on every hit would be pure memory traffic.
-func (ev *Evaluator) curvePoint(d core.Demand, n int) (queueing.SingleServerResult, error) {
+func (ev *Evaluator) curvePoint(ctx context.Context, d core.Demand, n int) (queueing.SingleServerResult, error) {
 	key := mvaKey{d.Think(), d.Interconnect}
 	sh := &ev.curves[key.shard()]
+	var sp obs.Span
+	if ev.obsv != nil {
+		sp = obs.Start()
+	}
 	sh.mu.RLock()
 	if sl, ok := sh.entries[key]; ok && len(sl.v) >= n {
 		sl.ref.Store(true)
 		r := sl.v[n-1]
 		sh.mu.RUnlock()
 		ev.mvaHits.Add(1)
+		if ev.obsv != nil {
+			ev.obsv.StageObserved(ctx, StageCacheLookup, sp.Seconds())
+			ev.obsv.CacheEvent(ctx, "mva", EventHit)
+		}
 		return r, nil
 	}
 	sh.mu.RUnlock()
-	c, err := ev.curve(d, n)
+	c, err := ev.curve(ctx, d, n)
 	if err != nil {
 		return queueing.SingleServerResult{}, err
 	}
@@ -522,14 +654,20 @@ func (ev *Evaluator) curvePoint(d core.Demand, n int) (queueing.SingleServerResu
 // EvaluateBus is a memoized core.EvaluateBus: identical results, served
 // from the demand and curve caches when possible.
 func (ev *Evaluator) EvaluateBus(s core.Scheme, p core.Params, costs *core.CostTable, maxProcs int) ([]core.BusPoint, error) {
+	return ev.EvaluateBusCtx(context.Background(), s, p, costs, maxProcs)
+}
+
+// EvaluateBusCtx is EvaluateBus with an observability context (see
+// DemandCtx); results are identical to EvaluateBus.
+func (ev *Evaluator) EvaluateBusCtx(ctx context.Context, s core.Scheme, p core.Params, costs *core.CostTable, maxProcs int) ([]core.BusPoint, error) {
 	if maxProcs < 1 {
 		return nil, fmt.Errorf("core: maxProcs %d < 1", maxProcs)
 	}
-	d, err := ev.Demand(s, p, costs)
+	d, err := ev.DemandCtx(ctx, s, p, costs)
 	if err != nil {
 		return nil, err
 	}
-	mva, err := ev.curve(d, maxProcs)
+	mva, err := ev.curve(ctx, d, maxProcs)
 	if err != nil {
 		return nil, err
 	}
@@ -542,14 +680,20 @@ func (ev *Evaluator) EvaluateBus(s core.Scheme, p core.Params, costs *core.CostT
 
 // BusPoint returns the bus-model prediction at exactly nproc processors.
 func (ev *Evaluator) BusPoint(s core.Scheme, p core.Params, costs *core.CostTable, nproc int) (core.BusPoint, error) {
+	return ev.BusPointCtx(context.Background(), s, p, costs, nproc)
+}
+
+// BusPointCtx is BusPoint with an observability context (see DemandCtx);
+// results are identical to BusPoint.
+func (ev *Evaluator) BusPointCtx(ctx context.Context, s core.Scheme, p core.Params, costs *core.CostTable, nproc int) (core.BusPoint, error) {
 	if nproc < 1 {
 		return core.BusPoint{}, fmt.Errorf("core: nproc %d < 1", nproc)
 	}
-	d, err := ev.Demand(s, p, costs)
+	d, err := ev.DemandCtx(ctx, s, p, costs)
 	if err != nil {
 		return core.BusPoint{}, err
 	}
-	r, err := ev.curvePoint(d, nproc)
+	r, err := ev.curvePoint(ctx, d, nproc)
 	if err != nil {
 		return core.BusPoint{}, err
 	}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -225,7 +226,7 @@ func TestCurveResultsAreCallerOwned(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ev.curve(d, 16)
+	want, err := ev.curve(context.Background(), d, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestCurveResultsAreCallerOwned(t *testing.T) {
 			want[i].Wait = -1
 			want[i].Utilization = 99
 		}
-		got, err := ev.curve(d, 16)
+		got, err := ev.curve(context.Background(), d, 16)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -11,17 +11,17 @@ import (
 // Point is one cell of an evaluation grid: a scheme, a workload, and a
 // machine size.
 type Point struct {
-	Scheme core.Scheme
-	Params core.Params
-	NProc  int
+	Scheme core.Scheme // coherence scheme under evaluation
+	Params core.Params // workload parameters (Table 7 space)
+	NProc  int         // machine size in processors
 }
 
 // Result pairs a Point with its bus-model solution at exactly
 // Point.NProc processors. On error Bus is zero and Err explains.
 type Result struct {
-	Point Point
-	Bus   core.BusPoint
-	Err   error
+	Point Point         // the grid cell this result answers
+	Bus   core.BusPoint // the model's prediction at Point.NProc
+	Err   error         // non-nil when the cell failed to solve
 }
 
 // Engine evaluates grids on a worker pool with an optional shared memo
