@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-hammer bench bench-short bench-json check serve smoke loadgen docs-check artifacts examples golden cover clean
+.PHONY: all build test vet race race-hammer bench bench-short bench-json check serve smoke chaos-smoke loadgen docs-check artifacts examples golden cover clean
 
 all: build vet test
 
@@ -37,7 +37,9 @@ bench-short:
 # sequential calls), captured as test2json events for diffing across PRs.
 # Then the serving-latency record: cohereload drives a hit-heavy and a
 # miss-heavy mix against an in-process daemon and writes the p50/p90/p99
-# summary to BENCH_PR4.json.
+# summary to BENCH_PR4.json. Finally the overload record: the chaos
+# drill writes patient-vs-abandoning completed-request percentiles plus
+# the daemon's shed/cancel/injection counts to BENCH_PR5.json.
 bench-json:
 	$(GO) test -run=NONE -bench='BenchmarkEvaluatorContention' -benchmem \
 		-cpu 1,4,8 -json ./internal/sweep > BENCH_PR3.json
@@ -47,6 +49,9 @@ bench-json:
 	$(GO) run ./cmd/cohereload -c 8 -d 3s -hit-ratios 0.95,0.05 \
 		-out BENCH_PR4.json > /dev/null
 	@echo "bench-json: wrote BENCH_PR4.json"
+	$(GO) run ./cmd/cohereload -chaos -c 12 -d 2s \
+		-out BENCH_PR5.json > /dev/null
+	@echo "bench-json: wrote BENCH_PR5.json"
 
 # Focused race hammers: the shared-evaluator and shared-server stress
 # tests, repeated, under the race detector — the concurrency gate on the
@@ -62,9 +67,17 @@ race-hammer:
 docs-check:
 	$(GO) run ./cmd/doccheck
 
+# Overload drill: cohereload's chaos mode drives a tiny fault-injected
+# daemon with patient and abandoning client fleets, and exits nonzero
+# unless admission control shed at least once and the daemon never
+# answered 500 (see OPERATIONS.md's overload runbook).
+chaos-smoke:
+	$(GO) run ./cmd/cohereload -chaos -c 12 -d 1s > /dev/null
+	@echo "chaos-smoke: ok (no 500s, shedding observed)"
+
 # The pre-merge gate: vet, the race-enabled test run, the repeated
-# concurrency hammers, and the documentation gate.
-check: vet race race-hammer docs-check
+# concurrency hammers, the documentation gate, and the overload drill.
+check: vet race race-hammer docs-check chaos-smoke
 
 # Run the model-serving daemon in the foreground.
 COHERED_ADDR ?= 127.0.0.1:8080

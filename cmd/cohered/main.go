@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	cohered [-addr :8080] [-timeout 10s] [-max-inflight N]
+//	cohered [-addr :8080] [-timeout 10s] [-max-inflight N] [-max-queue N]
 //	        [-max-body BYTES] [-max-procs N] [-max-stages N]
 //	        [-max-batch N] [-cache-cap N] [-pprof-addr ADDR] [-quiet]
+//	        [-fault-seed N] [-fault-err-p P] [-fault-latency D] [-fault-latency-p P]
 //
 // Endpoints (see internal/serve; OPERATIONS.md is the full operator
 // reference):
@@ -18,6 +19,12 @@
 //	POST /v1/advisor      scheme rankings for a workload
 //	POST /v1/sensitivity  parameter sensitivity table
 //	POST /v1/sweep        batch of bus-model points in one round trip
+//
+// The -fault-* flags arm the deterministic chaos injector
+// (internal/fault): every model solve and every /v1/sweep grid point
+// then suffers seeded injected errors (mapped to retryable 503s) and
+// latency. They exist for resilience drills against a disposable
+// daemon — never set them on one serving real traffic.
 //
 // -pprof-addr, when set, opens a second listener serving only
 // net/http/pprof (profiles, goroutine dumps, execution traces). It is a
@@ -45,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"swcc/internal/fault"
 	"swcc/internal/serve"
 )
 
@@ -81,6 +89,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(api,
 	addr := fs.String("addr", ":8080", "listen address")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request model-work budget")
 	maxInFlight := fs.Int("max-inflight", 0, "concurrent model solves (0 = 4x GOMAXPROCS)")
+	maxQueue := fs.Int("max-queue", 0, "queued solves before admission control sheds 503s (0 = 2x max-inflight)")
 	maxBody := fs.Int64("max-body", 1<<20, "request body cap in bytes")
 	maxProcs := fs.Int("max-procs", 4096, "largest servable bus machine")
 	maxStages := fs.Int("max-stages", 20, "largest servable network (2^stages processors)")
@@ -89,11 +98,32 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(api,
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	grace := fs.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
 	quiet := fs.Bool("quiet", false, "suppress per-request access logs")
+	faultSeed := fs.Int64("fault-seed", 1, "chaos injector schedule seed (only with -fault-err-p / -fault-latency-p)")
+	faultErrP := fs.Float64("fault-err-p", 0, "chaos: per-solve probability of an injected error (503)")
+	faultLatency := fs.Duration("fault-latency", 50*time.Millisecond, "chaos: delay injected per latency fault")
+	faultLatencyP := fs.Float64("fault-latency-p", 0, "chaos: per-solve probability of injected latency")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	var inj *fault.Injector
+	if *faultErrP > 0 || *faultLatencyP > 0 {
+		for _, p := range []float64{*faultErrP, *faultLatencyP} {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("fault probabilities must be in [0,1]")
+			}
+		}
+		if *faultErrP+*faultLatencyP > 1 {
+			return fmt.Errorf("fault probabilities sum past 1")
+		}
+		inj = fault.New(fault.Config{
+			Seed:     *faultSeed,
+			Latency:  *faultLatency,
+			LatencyP: *faultLatencyP,
+			ErrorP:   *faultErrP,
+		})
 	}
 
 	level := slog.LevelInfo
@@ -109,9 +139,16 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(api,
 		MaxProcs:       *maxProcs,
 		MaxStages:      *maxStages,
 		MaxBatchPoints: *maxBatch,
+		MaxQueueDepth:  *maxQueue,
 		CacheCap:       *cacheCap,
+		Fault:          inj,
 		Logger:         logger,
 	})
+	if inj != nil {
+		logger.Warn("chaos injector armed",
+			"seed", *faultSeed, "err_p", *faultErrP,
+			"latency", faultLatency.String(), "latency_p", *faultLatencyP)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

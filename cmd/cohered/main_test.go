@@ -259,3 +259,99 @@ func TestOperationsDocCoversAllFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestShutdownDrains pins the graceful-drain contract end to end: with
+// a solve in flight (held open by injected latency), the SIGTERM path
+// must let that request finish 200, refuse new connections, and stop
+// both the API and pprof listeners before run returns.
+func TestShutdownDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type addrs struct{ api, pprof net.Addr }
+	addrc := make(chan addrs, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-pprof-addr", "127.0.0.1:0", "-quiet",
+			"-fault-latency-p", "1", "-fault-latency", "500ms",
+		}, io.Discard, func(a, p net.Addr) { addrc <- addrs{a, p} })
+	}()
+	var got addrs
+	select {
+	case got = <-addrc:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + got.api.String()
+
+	type result struct {
+		code int
+		err  error
+	}
+	slow := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/bus", "application/json",
+			strings.NewReader(`{"scheme": "base"}`))
+		r := result{err: err}
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			r.code = resp.StatusCode
+		}
+		slow <- r
+	}()
+	// Wait for the injected 500ms solve to actually be in flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatalf("metrics during solve: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(body), "swcc_solve_in_flight 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("solve never became in-flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel() // the SIGTERM path
+
+	// New work must be refused while the slow request drains: the
+	// listener closes at the start of Shutdown, well before the 500ms
+	// solve finishes.
+	refused := false
+	for time.Now().Before(deadline) {
+		if _, err := http.Get(base + "/healthz"); err != nil {
+			refused = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !refused {
+		t.Error("API listener kept accepting new requests during shutdown")
+	}
+
+	if r := <-slow; r.err != nil || r.code != http.StatusOK {
+		t.Errorf("in-flight request not drained: code %d err %v", r.code, r.err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("API listener still serving after run returned")
+	}
+	if _, err := http.Get("http://" + got.pprof.String() + "/debug/pprof/"); err == nil {
+		t.Error("pprof listener still serving after run returned")
+	}
+}

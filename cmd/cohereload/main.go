@@ -7,7 +7,7 @@
 //
 //	cohereload [-addr HOST:PORT] [-c 8] [-d 3s] [-hit-ratios 0.95,0.05]
 //	           [-mix point:4,curve:1,sweep:1] [-warm-pool 64] [-procs 16]
-//	           [-seed 1] [-out FILE]
+//	           [-seed 1] [-out FILE] [-chaos]
 //
 // With -addr empty (the default) cohereload boots an in-process daemon —
 // the same serve.Server behind cohered — on an ephemeral loopback port
@@ -23,6 +23,16 @@
 // scenarios separates time spent in the model from time spent in the
 // serving path — the latency-regression runbook in OPERATIONS.md builds
 // on exactly that comparison.
+//
+// -chaos replaces the normal scenarios with an overload drill: it boots
+// a deliberately tiny in-process daemon (two solve slots, two queue
+// seats) with the internal/fault injector armed, then drives it with a
+// patient client fleet (retrying 503s after honoring Retry-After) and
+// an abandoning fleet (aggressive client timeouts, exercising the
+// cancellation paths). The run fails — nonzero exit — unless the daemon
+// sheds at least once and never answers 500: under overload plus
+// injected faults the only acceptable failures are retryable 503s and
+// clean timeouts. `make chaos-smoke` runs exactly this.
 package main
 
 import (
@@ -37,12 +47,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"swcc/internal/fault"
 	"swcc/internal/serve"
 )
 
@@ -77,13 +89,31 @@ type summary struct {
 	RPS         float64        `json:"requests_per_second"`
 	Latency     percentiles    `json:"latency"`
 	Mix         map[string]int `json:"mix_counts"`
+
+	// Chaos-mode extras; omitted from normal-mode reports so the
+	// BENCH_PR4.json shape is unchanged.
+	StatusCounts   map[string]int `json:"status_counts,omitempty"`
+	Retries        int            `json:"retries,omitempty"`
+	ClientTimeouts int            `json:"client_timeouts,omitempty"`
 }
 
-// report is the full document cohereload emits (BENCH_PR4.json's shape).
+// chaosStats is the server's own accounting of a chaos run, scraped
+// from /metrics after the scenarios finish.
+type chaosStats struct {
+	Sheds           int `json:"sheds"`
+	Cancels         int `json:"cancels"`
+	InjectedErrors  int `json:"injected_errors"`
+	InjectedLatency int `json:"injected_latencies"`
+	ServerError500s int `json:"server_500s"`
+}
+
+// report is the full document cohereload emits (BENCH_PR4.json's shape;
+// -chaos adds the chaos block for BENCH_PR5.json).
 type report struct {
-	Tool      string    `json:"tool"`
-	Target    string    `json:"target"`
-	Scenarios []summary `json:"scenarios"`
+	Tool      string      `json:"tool"`
+	Target    string      `json:"target"`
+	Scenarios []summary   `json:"scenarios"`
+	Chaos     *chaosStats `json:"chaos,omitempty"`
 }
 
 func main() {
@@ -105,6 +135,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	procs := fs.Int("procs", 16, "machine size per query")
 	seed := fs.Int64("seed", 1, "RNG seed for the request schedule")
 	out := fs.String("out", "", "also write the JSON report to this file")
+	chaos := fs.Bool("chaos", false, "overload drill against a tiny fault-injected in-process daemon (fails on any 500 or zero sheds)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -113,6 +144,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *conc < 1 || *warmPool < 1 || *procs < 1 || *dur <= 0 {
 		return fmt.Errorf("-c, -warm-pool, -procs must be >= 1 and -d > 0")
+	}
+	if *chaos {
+		if *addr != "" {
+			return fmt.Errorf("-chaos boots its own fault-injected daemon; it cannot target -addr")
+		}
+		return runChaos(stdout, stderr, *conc, *dur, *seed, *procs, *out)
 	}
 	mix, err := parseMix(*mixSpec)
 	if err != nil {
@@ -212,6 +249,26 @@ func parseMix(spec string) (map[string]int, error) {
 	return mix, nil
 }
 
+// splitmix64 is the SplitMix64 mixing function — the same mixer
+// internal/fault uses for its schedules.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// workerSeed derives worker w's RNG seed by hashing (seed, w) through
+// splitmix64. The obvious seed+w was a bug: run A's worker 1 and run
+// B's worker 0 collided whenever the base seeds differed by one, so
+// two runs meant to be independent replayed each other's request
+// schedules shifted by a worker. Hashing makes every (seed, worker)
+// pair an unrelated stream while keeping the schedule a pure function
+// of the flags.
+func workerSeed(seed int64, worker int) int64 {
+	return int64(splitmix64(uint64(seed) ^ splitmix64(uint64(worker)+1)))
+}
+
 // warmShd returns the i-th warm-pool workload's shd value.
 func warmShd(i, pool int) float64 {
 	return 0.1 + 0.8*float64(i)/float64(pool)
@@ -272,7 +329,7 @@ func runLoad(ctx context.Context, base string, cfg loadConfig) (summary, error) 
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)))
+			rng := rand.New(rand.NewSource(workerSeed(cfg.Seed, worker)))
 			for time.Now().Before(deadline) && ctx.Err() == nil {
 				kind := kinds[rng.Intn(len(kinds))]
 				hit := rng.Float64() < cfg.HitRatio
@@ -373,4 +430,251 @@ func summarize(sorted []float64) percentiles {
 		Mean: sum / float64(len(sorted)) * 1000,
 		Max:  sorted[len(sorted)-1] * 1000,
 	}
+}
+
+// --- chaos mode ---
+
+// chaosRequestTimeout is the chaos daemon's per-request model budget —
+// short, so overload converts to 503s within the drill window.
+const chaosRequestTimeout = 300 * time.Millisecond
+
+// startChaosDaemon boots the drill target: a deliberately tiny daemon
+// (two solve slots, two queue seats) with the deterministic injector
+// adding latency and transient errors to every solve.
+func startChaosDaemon(seed int64) (func(), string, error) {
+	inj := fault.New(fault.Config{
+		Seed:     seed,
+		Latency:  20 * time.Millisecond,
+		LatencyP: 0.4,
+		ErrorP:   0.2,
+	})
+	srv := serve.NewServer(serve.Config{
+		MaxInFlight:    2,
+		MaxQueueDepth:  2,
+		RequestTimeout: chaosRequestTimeout,
+		Fault:          inj,
+		Logger:         slog.New(slog.NewJSONHandler(io.Discard, nil)),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return func() { hs.Close() }, ln.Addr().String(), nil
+}
+
+// runChaos drives the overload drill: a patient fleet and an abandoning
+// fleet against the chaos daemon, then verdicts the run from the
+// daemon's own metrics. It returns an error — failing the process —
+// if the daemon ever answered 500 or never shed, so `make chaos-smoke`
+// is a real gate, not a report generator.
+func runChaos(stdout, stderr io.Writer, conc int, dur time.Duration, seed int64, procs int, outPath string) error {
+	stopSrv, target, err := startChaosDaemon(seed)
+	if err != nil {
+		return err
+	}
+	defer stopSrv()
+	base := "http://" + target
+	fmt.Fprintf(stderr, "cohereload: chaos daemon on %s (2 slots, 2 queue seats, faults armed)\n", target)
+
+	rep := report{Tool: "cohereload", Target: target + " (chaos)"}
+	// Patient clients wait out the server's full budget and retry 503s
+	// after honoring Retry-After; abandoning clients hang up after a
+	// timeout far below the injected latency, exercising cancellation.
+	for _, sc := range []struct {
+		label         string
+		clientTimeout time.Duration
+		seed          int64
+	}{
+		{"chaos_patient", 0, seed},
+		{"chaos_abandoning", 30 * time.Millisecond, seed + 1},
+	} {
+		s := chaosScenario(base, sc.label, conc, dur, sc.seed, procs, sc.clientTimeout)
+		rep.Scenarios = append(rep.Scenarios, s)
+		fmt.Fprintf(stderr, "cohereload: %s: %d requests, status %v, %d retries, %d client timeouts\n",
+			s.Label, s.Requests, s.StatusCounts, s.Retries, s.ClientTimeouts)
+	}
+
+	stats, err := scrapeChaosStats(base)
+	if err != nil {
+		return err
+	}
+	rep.Chaos = &stats
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := stdout.Write(data); err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+
+	client500s := 0
+	for _, s := range rep.Scenarios {
+		client500s += s.StatusCounts["500"]
+	}
+	if stats.ServerError500s > 0 || client500s > 0 {
+		return fmt.Errorf("chaos: daemon answered 500 under injected faults (server counted %d, clients saw %d) — overload must stay 503/504/499",
+			stats.ServerError500s, client500s)
+	}
+	if stats.Sheds == 0 {
+		return fmt.Errorf("chaos: admission control never shed; the drill did not reach overload (raise -c or -d)")
+	}
+	fmt.Fprintf(stderr, "cohereload: chaos ok: %d sheds, %d cancels, %d injected errors, 0 server 500s\n",
+		stats.Sheds, stats.Cancels, stats.InjectedErrors)
+	return nil
+}
+
+// chaosScenario runs one fleet for the window and tallies outcomes by
+// status code. clientTimeout 0 means patient: the client outlasts the
+// server's own budget.
+func chaosScenario(base, label string, conc int, dur time.Duration, seed int64, procs int, clientTimeout time.Duration) summary {
+	client := &http.Client{}
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		status    = map[string]int{}
+		requests  int
+		retries   int
+		timeouts  int
+		errs      int
+		missSeq   uint64
+		seqMu     sync.Mutex
+	)
+	nextMiss := func() uint64 {
+		seqMu.Lock()
+		defer seqMu.Unlock()
+		missSeq++
+		return missSeq
+	}
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(workerSeed(seed, worker)))
+			for time.Now().Before(deadline) {
+				// Distinct keys so every admitted request pays a real solve.
+				body := pointBody(missShd(nextMiss()), procs)
+				// Retry loop: a 503 is retried (bounded) after honoring the
+				// server's Retry-After, capped to the remaining window.
+				for attempt := 0; attempt < 3; attempt++ {
+					ctx := context.Background()
+					cancel := context.CancelFunc(func() {})
+					if clientTimeout > 0 {
+						ctx, cancel = context.WithTimeout(ctx, clientTimeout)
+					}
+					start := time.Now()
+					code, retryAfter, err := postStatus(ctx, client, base+"/v1/bus", body)
+					elapsed := time.Since(start).Seconds()
+					cancel()
+					mu.Lock()
+					requests++
+					switch {
+					case err != nil && ctx.Err() != nil:
+						timeouts++
+					case err != nil:
+						errs++
+					default:
+						status[strconv.Itoa(code)]++
+						if code == http.StatusOK {
+							latencies = append(latencies, elapsed)
+						}
+					}
+					if err == nil && code == http.StatusServiceUnavailable && attempt < 2 {
+						retries++
+						mu.Unlock()
+						backoff := time.Duration(retryAfter) * time.Second
+						if remaining := time.Until(deadline); backoff > remaining {
+							backoff = remaining
+						}
+						if backoff > 0 {
+							// Jitter so a shed burst does not retry in lockstep.
+							time.Sleep(backoff/2 + time.Duration(rng.Int63n(int64(backoff/2+1))))
+						}
+						continue
+					}
+					mu.Unlock()
+					break
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	sort.Float64s(latencies)
+	return summary{
+		Label:          label,
+		Concurrency:    conc,
+		Duration:       dur.Seconds(),
+		Requests:       requests,
+		Errors:         errs,
+		RPS:            float64(requests) / dur.Seconds(),
+		Latency:        summarize(latencies),
+		Mix:            map[string]int{"point": requests},
+		StatusCounts:   status,
+		Retries:        retries,
+		ClientTimeouts: timeouts,
+	}
+}
+
+// postStatus posts one request and returns the status code plus the
+// parsed Retry-After header (seconds, 0 when absent).
+func postStatus(ctx context.Context, client *http.Client, url, body string) (int, int, error) {
+	req, err := http.NewRequestWithContext(ctx, "POST", url, strings.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	ra, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+	return resp.StatusCode, ra, nil
+}
+
+// scrapeChaosStats reads the daemon's own overload accounting off
+// /metrics — the drill's verdict comes from the server, not from what
+// the clients happened to observe.
+func scrapeChaosStats(base string) (chaosStats, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return chaosStats{}, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return chaosStats{}, err
+	}
+	text := string(data)
+	get := func(name string) int {
+		m := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`).FindStringSubmatch(text)
+		if m == nil {
+			return 0
+		}
+		n, _ := strconv.Atoi(m[1])
+		return n
+	}
+	stats := chaosStats{
+		Sheds:           get("swcc_http_sheds_total"),
+		Cancels:         get("swcc_http_cancels_total"),
+		InjectedErrors:  get(`swcc_fault_injections_total{kind="error"}`),
+		InjectedLatency: get(`swcc_fault_injections_total{kind="latency"}`),
+	}
+	for _, m := range regexp.MustCompile(`code="500"\} (\d+)`).FindAllStringSubmatch(text, -1) {
+		n, _ := strconv.Atoi(m[1])
+		stats.ServerError500s += n
+	}
+	return stats, nil
 }

@@ -83,10 +83,83 @@ func TestBadFlags(t *testing.T) {
 		{"-mix", "bogus:1"},
 		{"-mix", "point:0,curve:0,sweep:0"},
 		{"-c", "0"},
+		{"-chaos", "-addr", "localhost:8080"},
 		{"positional"},
 	} {
 		if err := run(args, io.Discard, io.Discard); err == nil {
 			t.Errorf("args %v accepted; want error", args)
 		}
+	}
+}
+
+// TestWorkerSeedDerivation pins the per-worker seed fix. The old
+// cfg.Seed+worker derivation made adjacent runs replay each other's
+// schedules (seed 1's worker 1 was seed 2's worker 0); the hashed
+// derivation must keep every (seed, worker) stream distinct, and stay
+// bit-stable so a chaos schedule can be replayed from its flags.
+func TestWorkerSeedDerivation(t *testing.T) {
+	golden := map[int]int64{
+		0: 9129838320742759465,
+		1: 2139811525164838579,
+		2: 4875857236239627170,
+		3: -8199743362588960697,
+	}
+	for w, want := range golden {
+		if got := workerSeed(42, w); got != want {
+			t.Errorf("workerSeed(42, %d) = %d, want %d — the schedule is no longer replayable", w, got, want)
+		}
+	}
+	if workerSeed(1, 1) == workerSeed(2, 0) {
+		t.Error("adjacent-run collision is back: workerSeed(1,1) == workerSeed(2,0)")
+	}
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 8; seed++ {
+		for w := 0; w < 64; w++ {
+			s := workerSeed(seed, w)
+			if seen[s] {
+				t.Fatalf("duplicate worker seed at (seed=%d, worker=%d)", seed, w)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestChaosRun is the in-process version of `make chaos-smoke`: the
+// drill must pass its own gate (no 500s, nonzero sheds) and emit the
+// chaos report block with both fleets present.
+func TestChaosRun(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "chaos.json")
+	var stdout bytes.Buffer
+	err := run([]string{"-chaos", "-c", "12", "-d", "700ms", "-out", outPath}, &stdout, io.Discard)
+	if err != nil {
+		t.Fatalf("chaos drill failed its gate: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not the report JSON: %v\n%s", err, stdout.String())
+	}
+	if len(rep.Scenarios) != 2 || rep.Scenarios[0].Label != "chaos_patient" ||
+		rep.Scenarios[1].Label != "chaos_abandoning" {
+		t.Fatalf("want the patient and abandoning fleets, got %+v", rep.Scenarios)
+	}
+	if rep.Chaos == nil {
+		t.Fatal("report has no chaos block")
+	}
+	if rep.Chaos.Sheds == 0 {
+		t.Error("drill shed nothing yet passed — the gate is broken")
+	}
+	if rep.Chaos.ServerError500s != 0 {
+		t.Errorf("daemon answered %d 500s under chaos", rep.Chaos.ServerError500s)
+	}
+	for _, s := range rep.Scenarios {
+		if s.StatusCounts["200"] == 0 {
+			t.Errorf("%s: no request ever succeeded", s.Label)
+		}
+		if s.StatusCounts["500"] != 0 {
+			t.Errorf("%s: clients saw %d 500s", s.Label, s.StatusCounts["500"])
+		}
+	}
+	if rep.Scenarios[1].ClientTimeouts == 0 {
+		t.Error("abandoning fleet never abandoned a request")
 	}
 }

@@ -10,8 +10,9 @@
 //	doccheck [package directories...]
 //
 // With no arguments it checks the serving stack's packages
-// (internal/serve, internal/sweep, internal/obs), which OPERATIONS.md
-// and DESIGN.md §9 document in prose and which therefore must stay
+// (internal/serve, internal/sweep, internal/obs, internal/fault), which
+// OPERATIONS.md
+// and DESIGN.md document in prose and which therefore must stay
 // navigable from godoc alone. Test files are skipped. Exit status is
 // nonzero if any identifier is undocumented, with one "file:line: name"
 // diagnostic per finding.
@@ -31,7 +32,7 @@ import (
 func main() {
 	dirs := os.Args[1:]
 	if len(dirs) == 0 {
-		dirs = []string{"internal/serve", "internal/sweep", "internal/obs"}
+		dirs = []string{"internal/serve", "internal/sweep", "internal/obs", "internal/fault"}
 	}
 	findings, err := check(dirs)
 	if err != nil {

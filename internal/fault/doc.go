@@ -1,0 +1,20 @@
+// Package fault is the deterministic fault-injection harness behind
+// chaos testing: an Injector makes a seeded, replayable schedule of
+// injected latencies, injected errors, and injected panics that the
+// serving layer consults once per model operation.
+//
+// The point of determinism is that a chaos run is an experiment, not a
+// dice roll: the same seed and probabilities produce the same decision
+// at the same operation index, so a failure found under injection can
+// be replayed, bisected, and pinned by tests. Decisions are drawn from
+// a splitmix64 stream over (seed, operation counter); nothing reads the
+// wall clock or a global RNG.
+//
+// Consumers: internal/serve takes an *Injector in its Config and calls
+// Point before every model solve (and every /v1/sweep grid point);
+// cmd/cohered exposes the schedule as -fault-* flags; cmd/cohereload
+// -chaos boots an in-process daemon with an injector at saturation and
+// asserts the overload contract (503s with Retry-After, zero 500s).
+// A nil *Injector injects nothing, so the production path pays one nil
+// check.
+package fault

@@ -129,6 +129,35 @@ func (h *Histogram) Snapshot() Snapshot {
 	return s
 }
 
+// Quantile returns a conservative upper bound on the q-quantile (q in
+// [0,1]): the smallest bucket bound whose cumulative count covers at
+// least ceil(q*Count) observations. An empty snapshot returns 0, and a
+// quantile that lands in the +Inf overflow bin returns the last finite
+// bound — the histogram cannot say more than "past the top bucket".
+// Bucket-resolution accuracy is enough for its consumer, load-derived
+// Retry-After hints.
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	for i, ub := range s.Bounds {
+		if s.Cumulative[i] >= rank {
+			return ub
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // --- trace IDs ---
 
 // traceKey is the private context key for the request trace ID.

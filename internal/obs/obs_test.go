@@ -171,3 +171,34 @@ func TestValidTraceID(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotQuantile pins the quantile contract: empty snapshots are
+// 0, a quantile resolves to the first bound covering its rank, and
+// overflow-bin quantiles saturate at the last finite bound.
+func TestSnapshotQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	if q := h.Snapshot().Quantile(0.9); q != 0 {
+		t.Errorf("empty histogram p90 = %v, want 0", q)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.005) // bucket le=0.01
+	}
+	h.Observe(0.5) // bucket le=1
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 0.01 {
+		t.Errorf("p50 = %v, want 0.01", q)
+	}
+	if q := s.Quantile(0.9); q != 0.01 {
+		t.Errorf("p90 = %v, want 0.01 (rank 9 of 10 is still in the first bucket)", q)
+	}
+	if q := s.Quantile(1); q != 1 {
+		t.Errorf("p100 = %v, want 1", q)
+	}
+	h.Observe(100) // overflow
+	if q := h.Snapshot().Quantile(1); q != 1 {
+		t.Errorf("overflow p100 = %v, want the last finite bound 1", q)
+	}
+	if q := h.Snapshot().Quantile(0); q != 0.01 {
+		t.Errorf("p0 = %v, want the first non-empty bucket's bound 0.01", q)
+	}
+}

@@ -83,7 +83,20 @@ func (s *Server) handleSweep(ctx context.Context, body []byte) (any, error) {
 	return s.solve(ctx, func() (any, error) {
 		results := make([]busResponse, len(jobs))
 		errs := make([]error, len(jobs))
-		sweep.Each(0, len(jobs), func(i int) error {
+		sweep.EachCtx(ctx, 0, len(jobs), func(i int) (err error) {
+			// Each point is a fault-injection site and a cancellation
+			// point, and the pool's worker goroutines have no recover of
+			// their own — an injected (or model) panic here must become
+			// this point's error, not kill the process.
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("serve: internal error: %v", p)
+				}
+			}()
+			if err := s.cfg.Fault.Point(ctx); err != nil {
+				errs[i] = err
+				return nil
+			}
 			j := jobs[i]
 			resp := busResponse{Scheme: schemeLabel(j.scheme), Costs: costs.Name, Procs: j.procs}
 			if j.point {
@@ -104,11 +117,32 @@ func (s *Server) handleSweep(ctx context.Context, body []byte) (any, error) {
 			results[i] = resp
 			return nil
 		})
-		for i, err := range errs {
-			if err != nil {
-				return nil, pointErr(i, err)
-			}
+		if err := sweepError(ctx, errs); err != nil {
+			return nil, err
 		}
 		return sweepResponse{Count: len(results), Results: results}, nil
 	})
+}
+
+// sweepError maps a finished batch's per-point errors to the one error
+// the response reports. A done context wins outright and is returned
+// bare: a batch abandoned mid-flight is a timeout (504) or disconnect
+// of the whole request, and naming whichever point happened to observe
+// the cancellation first ("points[17]: context deadline exceeded")
+// would misreport a request-level condition as a data error — the bug
+// this helper exists to fix. Only with the context still live is the
+// lowest-index point error returned, index-prefixed, as before.
+func sweepError(ctx context.Context, errs []error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i, err := range errs {
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				return err
+			}
+			return pointErr(i, err)
+		}
+	}
+	return nil
 }

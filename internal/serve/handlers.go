@@ -9,9 +9,11 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"swcc/internal/core"
+	"swcc/internal/fault"
 	"swcc/internal/obs"
 	"swcc/internal/sensitivity"
 	"swcc/internal/sweep"
@@ -44,6 +46,17 @@ type apiFunc func(ctx context.Context, body []byte) (any, error)
 // error as JSON.
 func (s *Server) apiHandler(fn apiFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// Admission control: when the solve queue is already past its
+		// depth cap, reject before even reading the body — the cheapest
+		// possible 503, spending no decode or validation work on a
+		// request that would only time out in line anyway.
+		if s.met.queueDepth.Load() >= int64(s.cfg.MaxQueueDepth) {
+			s.met.sheds.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			s.writeJSON(w, http.StatusServiceUnavailable,
+				errorResponse{Error: "serve: solve queue full; retry later"})
+			return
+		}
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 		if err != nil {
 			var tooBig *http.MaxBytesError
@@ -71,20 +84,49 @@ func (s *Server) apiHandler(fn apiFunc) http.HandlerFunc {
 	}
 }
 
+// statusClientClosedRequest is nginx's convention for "the client went
+// away before we could answer". No client reads this response; it
+// exists so access logs and the requests-by-code series separate
+// client disconnects from genuine server-side timeouts (504).
+const statusClientClosedRequest = 499
+
+// retryAfterSeconds derives a Retry-After hint for a 503 from observed
+// load instead of a constant: the p90 solve latency times the queue
+// positions a retry would wait behind, spread over the solver slots,
+// clamped to [1,60] whole seconds. A cold server (empty histogram)
+// hints 1s; a deeply backed-up one pushes retries far enough out that
+// they land after the queue has actually drained.
+func (s *Server) retryAfterSeconds() int {
+	p90 := s.met.byStage[sweep.StageSolve].Snapshot().Quantile(0.9)
+	wait := p90 * float64(s.met.queueDepth.Load()+1) / float64(s.cfg.MaxInFlight)
+	secs := int(math.Ceil(wait))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
 // writeError maps an error to its status code and renders it. Model
 // domain errors are client errors: invalid workloads are 400s and
-// scheme/hardware mismatches 422s; only genuinely unexpected failures
-// surface as 500.
+// scheme/hardware mismatches 422s. Overload and injected faults are
+// retryable 503s carrying a load-derived Retry-After, a timed-out
+// solve is 504, a client disconnect is 499; only genuinely unexpected
+// failures surface as 500.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	var he *httpError
 	switch {
 	case errors.As(err, &he):
 		code = he.code
-	case errors.Is(err, errBusy):
+	case errors.Is(err, errBusy), errors.Is(err, fault.ErrInjected):
 		code = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "1")
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	case errors.Is(err, context.Canceled):
+		code = statusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
 		code = http.StatusGatewayTimeout
 	case errors.Is(err, core.ErrInvalidParams):
 		code = http.StatusBadRequest
@@ -481,5 +523,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.write(w, s.ev)
+	s.met.write(w, s.ev, s.cfg.Fault)
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"swcc/internal/fault"
 	"swcc/internal/obs"
 	"swcc/internal/sweep"
 )
@@ -49,6 +50,16 @@ var stageNames = []string{
 type metrics struct {
 	requests sync.Map // [2]string{path, code} -> *atomic.Uint64
 	inFlight atomic.Int64
+
+	// Overload accounting: solveInFlight counts solves holding a limiter
+	// slot, queueDepth counts admitted requests waiting for one, sheds
+	// counts requests rejected by admission control before body decode,
+	// and cancels counts requests abandoned by their client (context
+	// cancelled while queued or mid-solve).
+	solveInFlight atomic.Int64
+	queueDepth    atomic.Int64
+	sheds         atomic.Uint64
+	cancels       atomic.Uint64
 
 	latency *obs.Histogram            // all requests, any path
 	byPath  map[string]*obs.Histogram // per known endpoint (+ "other"); read-only after construction
@@ -144,12 +155,14 @@ func bracketed(labels string) string {
 }
 
 // write renders the registry plus the evaluator's cache counters, the
-// singleflight/eviction series, and the per-shard size gauges in
-// Prometheus text exposition format. The output is byte-stable: families
-// render in a fixed order and every labeled family's series are sorted,
-// so two scrapes of an idle server are byte-identical (the golden
-// doc-drift and stability tests depend on this).
-func (m *metrics) write(w io.Writer, ev *sweep.Evaluator) {
+// singleflight/eviction series, the per-shard size gauges, and the
+// overload/fault series in Prometheus text exposition format. The
+// output is byte-stable: families render in a fixed order and every
+// labeled family's series are sorted, so two scrapes of an idle server
+// are byte-identical (the golden doc-drift and stability tests depend
+// on this). inj may be nil (no fault injection configured); the fault
+// family still renders, at zero, so dashboards need no conditionals.
+func (m *metrics) write(w io.Writer, ev *sweep.Evaluator, inj *fault.Injector) {
 	st := ev.Stats()
 
 	counter := func(name, help string, v uint64) {
@@ -206,6 +219,17 @@ func (m *metrics) write(w io.Writer, ev *sweep.Evaluator) {
 	}
 
 	fmt.Fprintf(w, "# HELP swcc_http_in_flight Requests currently being served.\n# TYPE swcc_http_in_flight gauge\nswcc_http_in_flight %d\n", m.inFlight.Load())
+
+	fmt.Fprintf(w, "# HELP swcc_solve_in_flight Model solves currently holding a concurrency-limiter slot.\n# TYPE swcc_solve_in_flight gauge\nswcc_solve_in_flight %d\n", m.solveInFlight.Load())
+	fmt.Fprintf(w, "# HELP swcc_solve_queue_depth Admitted requests currently waiting for a concurrency-limiter slot.\n# TYPE swcc_solve_queue_depth gauge\nswcc_solve_queue_depth %d\n", m.queueDepth.Load())
+	fmt.Fprintf(w, "# HELP swcc_http_sheds_total Requests rejected 503 by admission control before body decode (queue full).\n# TYPE swcc_http_sheds_total counter\nswcc_http_sheds_total %d\n", m.sheds.Load())
+	fmt.Fprintf(w, "# HELP swcc_http_cancels_total Requests abandoned by their client while queued or mid-solve.\n# TYPE swcc_http_cancels_total counter\nswcc_http_cancels_total %d\n", m.cancels.Load())
+
+	lat, errs, panics := inj.Counts()
+	fmt.Fprintf(w, "# HELP swcc_fault_injections_total Faults fired by the configured injector (always 0 without -fault-* flags).\n# TYPE swcc_fault_injections_total counter\n")
+	fmt.Fprintf(w, "swcc_fault_injections_total{kind=\"error\"} %d\n", errs)
+	fmt.Fprintf(w, "swcc_fault_injections_total{kind=\"latency\"} %d\n", lat)
+	fmt.Fprintf(w, "swcc_fault_injections_total{kind=\"panic\"} %d\n", panics)
 
 	fmt.Fprintf(w, "# HELP swcc_http_request_duration_seconds Request latency.\n# TYPE swcc_http_request_duration_seconds histogram\n")
 	writeHistogram(w, "swcc_http_request_duration_seconds", "", m.latency.Snapshot())

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"swcc/internal/fault"
 	"swcc/internal/obs"
 	"swcc/internal/sweep"
 )
@@ -34,12 +36,23 @@ type Config struct {
 	// MaxBatchPoints caps the number of grid points one /v1/sweep
 	// request may carry. Default 1024.
 	MaxBatchPoints int
+	// MaxQueueDepth caps how many admitted requests may wait for a
+	// concurrency slot before the admission controller starts shedding:
+	// past it, new API requests are rejected 503 before their body is
+	// even read, with a Retry-After derived from the observed
+	// solve-latency histogram. Default 2*MaxInFlight.
+	MaxQueueDepth int
 	// CacheCap, when positive, bounds the evaluator's demand and curve
 	// caches to roughly CacheCap entries each, evicting cold entries by
 	// a per-shard CLOCK policy — a hard memory ceiling for a long-lived
 	// daemon fed adversarial parameter mixes. Default 0 (unbounded:
 	// cache growth tracks distinct work).
 	CacheCap int
+	// Fault, when non-nil, injects deterministic faults (latency,
+	// errors, panics) into every model solve and every /v1/sweep grid
+	// point, per the injector's seeded schedule — the chaos-testing
+	// hook. Default nil: no injection, one nil check per solve.
+	Fault *fault.Injector
 	// Logger receives structured access and lifecycle logs. Default
 	// slog.Default().
 	Logger *slog.Logger
@@ -63,6 +76,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatchPoints <= 0 {
 		c.MaxBatchPoints = 1024
+	}
+	if c.MaxQueueDepth <= 0 {
+		c.MaxQueueDepth = 2 * c.MaxInFlight
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -156,10 +172,15 @@ type validateStartKey struct{}
 
 // solve runs fn under the concurrency limiter with the request context's
 // deadline. Waiting for a slot and solving share one budget; a request
-// that times out while queued fails errBusy (503), one that times out
-// mid-solve fails ctx.Err() (504). A timed-out solve keeps its slot
-// until the goroutine finishes, so MaxInFlight bounds real model work
-// even when clients have given up.
+// whose *deadline* expires while queued fails errBusy (503 — the server
+// genuinely had no capacity in time), while a request whose client
+// disconnects while queued fails context.Canceled (the client gave up;
+// that is logged and counted as a cancellation, not as "server busy").
+// A request that times out mid-solve fails ctx.Err() (504). A timed-out
+// solve keeps its slot until the goroutine finishes, so MaxInFlight
+// bounds real model work even when clients have given up — but the
+// evaluator's cancellation points make that goroutine wind down at the
+// next ctx check instead of completing the abandoned work.
 //
 // Entering solve is also the decode/validate stage boundary: everything
 // the handler did between reading the body and calling solve was
@@ -170,18 +191,30 @@ func (s *Server) solve(ctx context.Context, fn func() (any, error)) (any, error)
 	if sp, ok := ctx.Value(validateStartKey{}).(obs.Span); ok {
 		s.met.observeStage(stageValidate, sp.Seconds())
 	}
+	s.met.queueDepth.Add(1)
 	select {
 	case s.sem <- struct{}{}:
+		s.met.queueDepth.Add(-1)
 	case <-ctx.Done():
+		s.met.queueDepth.Add(-1)
+		if err := ctx.Err(); errors.Is(err, context.Canceled) {
+			s.met.cancels.Add(1)
+			s.log.Debug("client gone while queued for a solve slot")
+			return nil, err
+		}
 		return nil, errBusy
 	}
+	s.met.solveInFlight.Add(1)
 	type res struct {
 		v   any
 		err error
 	}
 	ch := make(chan res, 1)
 	go func() {
-		defer func() { <-s.sem }()
+		defer func() {
+			s.met.solveInFlight.Add(-1)
+			<-s.sem
+		}()
 		// The solve runs outside the handler goroutine, so the
 		// instrument middleware's recover cannot catch a panic here;
 		// convert it to a 500 instead of killing the process.
@@ -194,6 +227,10 @@ func (s *Server) solve(ctx context.Context, fn func() (any, error)) (any, error)
 		if s.beforeSolve != nil {
 			s.beforeSolve()
 		}
+		if err := s.cfg.Fault.Point(ctx); err != nil {
+			ch <- res{nil, err}
+			return
+		}
 		v, err := fn()
 		ch <- res{v, err}
 	}()
@@ -201,6 +238,10 @@ func (s *Server) solve(ctx context.Context, fn func() (any, error)) (any, error)
 	case r := <-ch:
 		return r.v, r.err
 	case <-ctx.Done():
+		if err := ctx.Err(); errors.Is(err, context.Canceled) {
+			s.met.cancels.Add(1)
+			s.log.Debug("client gone mid-solve; work stops at its next cancellation point")
+		}
 		return nil, ctx.Err()
 	}
 }

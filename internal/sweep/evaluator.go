@@ -413,10 +413,16 @@ func (ev *Evaluator) Demand(s core.Scheme, p core.Params, costs *core.CostTable)
 	return ev.DemandCtx(context.Background(), s, p, costs)
 }
 
-// DemandCtx is Demand with an observability context: the computation is
-// identical, but stage timings and cache events reported to the
-// evaluator's Observer carry ctx (and hence its trace ID).
+// DemandCtx is Demand with an observability and cancellation context:
+// the computation is identical, but stage timings and cache events
+// reported to the evaluator's Observer carry ctx (and hence its trace
+// ID), and a done ctx fails fast with its error — before probing the
+// cache, and while parked on another goroutine's in-flight solve — so a
+// timed-out or abandoned request stops consuming evaluator capacity.
 func (ev *Evaluator) DemandCtx(ctx context.Context, s core.Scheme, p core.Params, costs *core.CostTable) (core.Demand, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Demand{}, err
+	}
 	if err := p.Validate(); err != nil {
 		return core.Demand{}, fmt.Errorf("%s: %w", s.Name(), err)
 	}
@@ -462,7 +468,13 @@ func (ev *Evaluator) DemandCtx(ctx context.Context, s core.Scheme, p core.Params
 		if ev.obsv != nil {
 			wsp = obs.Start()
 		}
-		<-fl.done
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			// The waiter gives up its seat; the leader's solve continues
+			// and still publishes for future (live) callers.
+			return core.Demand{}, ctx.Err()
+		}
 		if ev.obsv != nil {
 			ev.obsv.StageObserved(ctx, StageDedupWait, wsp.Seconds())
 		}
@@ -525,6 +537,9 @@ func cloneCurve(c []queueing.SingleServerResult, n int) []queueing.SingleServerR
 // the published curve for a key only ever grows, and every returned
 // slice is a caller-owned clone.
 func (ev *Evaluator) curve(ctx context.Context, d core.Demand, n int) ([]queueing.SingleServerResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	key := mvaKey{d.Think(), d.Interconnect}
 	sh := &ev.curves[key.shard()]
 
@@ -567,7 +582,12 @@ func (ev *Evaluator) curve(ctx context.Context, d core.Demand, n int) ([]queuein
 		if ev.obsv != nil {
 			wsp = obs.Start()
 		}
-		<-fl.done
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			// As in DemandCtx: abandon the wait, not the leader's solve.
+			return nil, ctx.Err()
+		}
 		if ev.obsv != nil {
 			ev.obsv.StageObserved(ctx, StageDedupWait, wsp.Seconds())
 		}

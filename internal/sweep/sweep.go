@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -96,6 +97,18 @@ func FirstError(results []Result) error {
 // per-index effects and the returned error are scheduling-independent as
 // long as fn(i) only writes state owned by index i.
 func Each(workers, n int, fn func(i int) error) error {
+	return EachCtx(context.Background(), workers, n, fn)
+}
+
+// EachCtx is Each under cooperative cancellation: once ctx is done, no
+// further fn(i) starts — remaining indices fail with ctx's error instead
+// of running — so a caller that has stopped caring (a timed-out HTTP
+// request, an abandoned batch) stops consuming the worker pool within
+// one in-flight fn per worker. Indices that ran before cancellation keep
+// their results; which indices those are depends on scheduling, so
+// unlike Each the per-index effects are only deterministic when ctx is
+// never cancelled (a background ctx makes EachCtx exactly Each).
+func EachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -108,7 +121,11 @@ func Each(workers, n int, fn func(i int) error) error {
 	if workers == 1 {
 		var first error
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && first == nil {
+			err := ctx.Err()
+			if err == nil {
+				err = fn(i)
+			}
+			if err != nil && first == nil {
 				first = err
 			}
 		}
@@ -125,6 +142,10 @@ func Each(workers, n int, fn func(i int) error) error {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
 				}
 				errs[i] = fn(i)
 			}
