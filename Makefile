@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-hammer bench bench-short bench-json check serve smoke chaos-smoke loadgen docs-check artifacts examples golden cover clean
+.PHONY: all build test vet race race-hammer bench bench-short bench-json bench-diff alloc-check check serve smoke chaos-smoke loadgen docs-check artifacts examples golden cover clean
 
 all: build vet test
 
@@ -32,26 +32,28 @@ bench-short:
 	$(GO) test -run=NONE -bench='BenchmarkSweep|BenchmarkEvaluator' -benchmem ./internal/sweep
 	$(GO) test -run=NONE -bench='BenchmarkSimHotLoop|BenchmarkTraceRestrict' -benchmem ./internal/sim
 
-# Machine-readable record of the concurrency benchmarks (the sharded
-# evaluator under contention at 1/4/8 threads, and the batch endpoint vs
-# sequential calls), captured as test2json events for diffing across PRs.
-# Then the serving-latency record: cohereload drives a hit-heavy and a
-# miss-heavy mix against an in-process daemon and writes the p50/p90/p99
-# summary to BENCH_PR4.json. Finally the overload record: the chaos
-# drill writes patient-vs-abandoning completed-request percentiles plus
-# the daemon's shed/cancel/injection counts to BENCH_PR5.json.
+# This PR's serving-latency record: cohereload drives the hit-heavy and
+# miss-heavy mixes against an in-process daemon and writes the
+# p50/p90/p99 summary to BENCH_PR6.json. Earlier records
+# (BENCH_PR3..5.json) are append-only history — bench-json never
+# rewrites them, so `bench-diff` always compares against the numbers
+# the previous PR actually merged with.
 bench-json:
-	$(GO) test -run=NONE -bench='BenchmarkEvaluatorContention' -benchmem \
-		-cpu 1,4,8 -json ./internal/sweep > BENCH_PR3.json
-	$(GO) test -run=NONE -bench='BenchmarkServeBatch' -benchmem \
-		-json ./internal/serve >> BENCH_PR3.json
-	@grep -c '"Action"' BENCH_PR3.json >/dev/null && echo "bench-json: wrote BENCH_PR3.json"
 	$(GO) run ./cmd/cohereload -c 8 -d 3s -hit-ratios 0.95,0.05 \
-		-out BENCH_PR4.json > /dev/null
-	@echo "bench-json: wrote BENCH_PR4.json"
-	$(GO) run ./cmd/cohereload -chaos -c 12 -d 2s \
-		-out BENCH_PR5.json > /dev/null
-	@echo "bench-json: wrote BENCH_PR5.json"
+		-out BENCH_PR6.json > /dev/null
+	@echo "bench-json: wrote BENCH_PR6.json"
+
+# Cross-PR regression gate: compare the newest benchmark record against
+# the newest earlier record sharing a scenario, and fail if p99 latency
+# rose or throughput fell beyond the noise band (see cmd/benchdiff).
+bench-diff:
+	$(GO) run ./cmd/benchdiff
+
+# Allocation pins, run WITHOUT the race detector (its instrumentation
+# perturbs testing.AllocsPerRun): the warm BusPoint path must stay at
+# zero allocations and the warm extend path within its budget.
+alloc-check:
+	$(GO) test -run 'Alloc' ./internal/core ./internal/sweep
 
 # Focused race hammers: the shared-evaluator and shared-server stress
 # tests, repeated, under the race detector — the concurrency gate on the
@@ -76,8 +78,9 @@ chaos-smoke:
 	@echo "chaos-smoke: ok (no 500s, shedding observed)"
 
 # The pre-merge gate: vet, the race-enabled test run, the repeated
-# concurrency hammers, the documentation gate, and the overload drill.
-check: vet race race-hammer docs-check chaos-smoke
+# concurrency hammers, the allocation pins (non-race), the
+# documentation gate, and the overload drill.
+check: vet race race-hammer alloc-check docs-check chaos-smoke
 
 # Run the model-serving daemon in the foreground.
 COHERED_ADDR ?= 127.0.0.1:8080

@@ -1,0 +1,214 @@
+// Command benchdiff compares the two newest per-PR benchmark records
+// (BENCH_PR<n>.json, as written by `make bench-json`) and fails when
+// the serving latency or throughput regressed beyond a noise band. It
+// is the cross-PR counterpart to the in-tree allocation pins: alloc
+// tests catch per-op waste within one build, benchdiff catches the
+// end-to-end drift between merges.
+//
+// Usage:
+//
+//	benchdiff [-dir .] [-band 0.15]
+//
+// Only cohereload-format records participate (files whose top-level
+// "tool" field is "cohereload"); older test2json records are skipped.
+// The newest file is the candidate and the newest earlier file sharing
+// at least one scenario label is the baseline — so a chaos-mode record
+// between two latency records does not break the comparison chain. For
+// every shared label, p99 latency may not rise and throughput may not
+// fall by more than the band (default 15%, chosen from observed
+// run-to-run jitter of the 3-second cohereload scenarios). Exit status
+// is 1 on regression, 2 on usage/parse errors, and 0 otherwise —
+// including when no comparable baseline exists yet.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// record is the slice of cohereload's output format that benchdiff
+// compares; unknown fields are ignored so the format can grow.
+type record struct {
+	// Tool identifies the writer; only "cohereload" records compare.
+	Tool string `json:"tool"`
+	// Scenarios holds one summary per load mix, keyed by Label.
+	Scenarios []scenario `json:"scenarios"`
+}
+
+// scenario is one load mix's summary: its identifying label, the
+// throughput, and the latency percentiles.
+type scenario struct {
+	// Label names the mix (e.g. "hit_ratio_0.95", "chaos_patient").
+	Label string `json:"label"`
+	// RequestsPerSecond is the completed-request throughput.
+	RequestsPerSecond float64 `json:"requests_per_second"`
+	// Latency carries the millisecond percentiles; only P99 gates.
+	Latency struct {
+		// P99Ms is the 99th-percentile request latency in milliseconds.
+		P99Ms float64 `json:"p99_ms"`
+	} `json:"latency"`
+}
+
+// benchFile pairs a parsed record with the PR number from its name.
+type benchFile struct {
+	// Path is the file's location, for diagnostics.
+	Path string
+	// PR is the number in BENCH_PR<n>.json; files sort by it.
+	PR int
+	// Rec is the parsed cohereload record.
+	Rec record
+}
+
+var benchName = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding BENCH_PR*.json records")
+	band := flag.Float64("band", 0.15, "allowed fractional regression before failing")
+	flag.Parse()
+
+	files, err := load(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	report, regressed, err := diff(files, *band)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fmt.Print(report)
+	if regressed {
+		os.Exit(1)
+	}
+}
+
+// load parses every cohereload-format BENCH_PR*.json in dir, sorted by
+// PR number ascending. Non-cohereload files (e.g. test2json records
+// from earlier PRs) are silently skipped; malformed JSON in a matching
+// file is skipped too, since historical records are not this build's
+// fault.
+func load(dir string) ([]benchFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []benchFile
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil || e.IsDir() {
+			continue
+		}
+		pr, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var rec record
+		if err := json.Unmarshal(data, &rec); err != nil || rec.Tool != "cohereload" {
+			continue
+		}
+		files = append(files, benchFile{Path: filepath.Join(dir, e.Name()), PR: pr, Rec: rec})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].PR < files[j].PR })
+	return files, nil
+}
+
+// diff compares the newest record against the newest earlier record
+// sharing at least one scenario label and returns a human-readable
+// report plus whether any shared scenario regressed beyond band.
+func diff(files []benchFile, band float64) (string, bool, error) {
+	if len(files) == 0 {
+		return "benchdiff: no cohereload records found; nothing to compare\n", false, nil
+	}
+	cur := files[len(files)-1]
+	var base *benchFile
+	for i := len(files) - 2; i >= 0; i-- {
+		if len(sharedLabels(files[i].Rec, cur.Rec)) > 0 {
+			base = &files[i]
+			break
+		}
+	}
+	if base == nil {
+		return fmt.Sprintf("benchdiff: no earlier record shares a scenario with %s; nothing to compare\n", cur.Path), false, nil
+	}
+
+	report := fmt.Sprintf("benchdiff: %s vs baseline %s (band %.0f%%)\n", cur.Path, base.Path, band*100)
+	regressed := false
+	for _, label := range sharedLabels(base.Rec, cur.Rec) {
+		b, c := scenarioByLabel(base.Rec, label), scenarioByLabel(cur.Rec, label)
+		line, bad := compareScenario(label, b, c, band)
+		report += line
+		regressed = regressed || bad
+	}
+	if regressed {
+		report += "benchdiff: FAIL — regression beyond noise band\n"
+	} else {
+		report += "benchdiff: ok\n"
+	}
+	return report, regressed, nil
+}
+
+// compareScenario renders one label's p99/throughput deltas and flags
+// a regression when p99 rose or throughput fell by more than band.
+func compareScenario(label string, base, cur scenario, band float64) (string, bool) {
+	p99Delta := frac(cur.Latency.P99Ms, base.Latency.P99Ms)
+	rpsDelta := frac(cur.RequestsPerSecond, base.RequestsPerSecond)
+	p99Bad := p99Delta > band
+	rpsBad := rpsDelta < -band
+	mark := func(bad bool) string {
+		if bad {
+			return " REGRESSION"
+		}
+		return ""
+	}
+	line := fmt.Sprintf("  %s: p99 %.3fms -> %.3fms (%+.1f%%)%s, throughput %.0f -> %.0f req/s (%+.1f%%)%s\n",
+		label,
+		base.Latency.P99Ms, cur.Latency.P99Ms, p99Delta*100, mark(p99Bad),
+		base.RequestsPerSecond, cur.RequestsPerSecond, rpsDelta*100, mark(rpsBad))
+	return line, p99Bad || rpsBad
+}
+
+// frac is the fractional change from base to cur, 0 when base is 0 or
+// negative (degenerate records never gate).
+func frac(cur, base float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (cur - base) / base
+}
+
+// sharedLabels returns the scenario labels present in both records, in
+// a's order.
+func sharedLabels(a, b record) []string {
+	inB := make(map[string]bool, len(b.Scenarios))
+	for _, s := range b.Scenarios {
+		inB[s.Label] = true
+	}
+	var shared []string
+	for _, s := range a.Scenarios {
+		if inB[s.Label] {
+			shared = append(shared, s.Label)
+		}
+	}
+	return shared
+}
+
+// scenarioByLabel returns the scenario with the given label, or a zero
+// scenario if absent (callers only pass labels from sharedLabels).
+func scenarioByLabel(r record, label string) scenario {
+	for _, s := range r.Scenarios {
+		if s.Label == label {
+			return s
+		}
+	}
+	return scenario{}
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write drops one benchmark record file into dir.
+func write(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rec builds a minimal cohereload record with one or more scenarios,
+// given (label, p99_ms, rps) triples.
+func rec(scenarios ...string) string {
+	return `{"tool": "cohereload", "scenarios": [` + strings.Join(scenarios, ",") + `]}`
+}
+
+// scen renders one scenario object.
+func scen(label string, p99, rps float64) string {
+	return fmt.Sprintf(`{"label": %q, "requests_per_second": %g, "latency": {"p99_ms": %g}}`,
+		label, rps, p99)
+}
+
+// TestDiffPassesWithinBand: small deltas inside the band are reported
+// but do not fail.
+func TestDiffPassesWithinBand(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_PR4.json", rec(scen("hit_ratio_0.95", 2.0, 10000)))
+	write(t, dir, "BENCH_PR6.json", rec(scen("hit_ratio_0.95", 2.2, 9200)))
+	files, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, regressed, err := diff(files, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("10%% p99 rise inside 15%% band flagged as regression:\n%s", report)
+	}
+	if !strings.Contains(report, "BENCH_PR4.json") || !strings.Contains(report, "benchdiff: ok") {
+		t.Errorf("report missing baseline name or ok line:\n%s", report)
+	}
+}
+
+// TestDiffFailsOnP99Regression: p99 beyond the band fails even when
+// throughput improved.
+func TestDiffFailsOnP99Regression(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_PR4.json", rec(scen("hit_ratio_0.95", 2.0, 10000)))
+	write(t, dir, "BENCH_PR6.json", rec(scen("hit_ratio_0.95", 3.0, 12000)))
+	files, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, regressed, err := diff(files, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Errorf("50%% p99 rise not flagged:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSION") {
+		t.Errorf("report does not mark the regressed metric:\n%s", report)
+	}
+}
+
+// TestDiffFailsOnThroughputDrop: a throughput collapse fails even with
+// flat latency.
+func TestDiffFailsOnThroughputDrop(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_PR5.json", rec(scen("chaos_patient", 40, 100)))
+	write(t, dir, "BENCH_PR7.json", rec(scen("chaos_patient", 40, 60)))
+	files, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, regressed, err := diff(files, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Error("40% throughput drop not flagged")
+	}
+}
+
+// TestDiffSkipsUnsharedBaseline: the baseline is the newest EARLIER
+// record sharing a label — a chaos record between two latency records
+// must not break the chain, and test2json records must be ignored.
+func TestDiffSkipsUnsharedBaseline(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_PR3.json", `{"Time":"t","Action":"start","Package":"p"}`)
+	write(t, dir, "BENCH_PR4.json", rec(scen("hit_ratio_0.95", 2.0, 10000)))
+	write(t, dir, "BENCH_PR5.json", rec(scen("chaos_patient", 40, 100)))
+	write(t, dir, "BENCH_PR6.json", rec(scen("hit_ratio_0.95", 2.1, 9900)))
+	files, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("load kept %d files, want 3 (test2json skipped)", len(files))
+	}
+	report, regressed, err := diff(files, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("unexpected regression:\n%s", report)
+	}
+	if !strings.Contains(report, "BENCH_PR4.json") {
+		t.Errorf("baseline should be PR4 (PR5 shares no label):\n%s", report)
+	}
+}
+
+// TestDiffNoBaseline: a lone record, or one sharing no labels with any
+// predecessor, exits cleanly with a message rather than failing.
+func TestDiffNoBaseline(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_PR6.json", rec(scen("hit_ratio_0.95", 2.0, 10000)))
+	files, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, regressed, err := diff(files, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Error("lone record flagged as regression")
+	}
+	if !strings.Contains(report, "nothing to compare") {
+		t.Errorf("report should say there is nothing to compare:\n%s", report)
+	}
+
+	empty := t.TempDir()
+	files, err = load(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, regressed, err = diff(files, 0.15)
+	if err != nil || regressed {
+		t.Fatalf("empty dir: regressed=%v err=%v", regressed, err)
+	}
+	if !strings.Contains(report, "nothing to compare") {
+		t.Errorf("empty dir report:\n%s", report)
+	}
+}
+
+// TestLoadRealFormat parses a record shaped like cohereload's actual
+// output (extra fields present) without error.
+func TestLoadRealFormat(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_PR4.json", `{
+  "tool": "cohereload",
+  "target": "127.0.0.1:1",
+  "scenarios": [{
+    "label": "hit_ratio_0.95",
+    "hit_ratio": 0.95,
+    "concurrency": 8,
+    "requests": 100,
+    "errors": 0,
+    "requests_per_second": 13285.3,
+    "latency": {"p50_ms": 0.4, "p90_ms": 0.9, "p99_ms": 2.2, "mean_ms": 0.6, "max_ms": 6.1},
+    "mix_counts": {"curve": 1, "point": 2, "sweep": 3}
+  }]
+}`)
+	files, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0].Rec.Scenarios[0].Latency.P99Ms != 2.2 {
+		t.Fatalf("parsed %+v", files)
+	}
+}

@@ -14,12 +14,15 @@ import (
 // inside their bisections and rankings through a memoizing evaluator
 // (internal/sweep) instead of solving fresh every time.
 type PowerEvaluator interface {
+	// BusPower returns the bus processing power (n*U) of scheme s on
+	// workload p under costs at exactly nproc processors.
 	BusPower(s Scheme, p Params, costs *CostTable, nproc int) (float64, error)
 }
 
 // directEvaluator solves fresh on every call.
 type directEvaluator struct{}
 
+// BusPower implements PowerEvaluator with a fresh, uncached solve.
 func (directEvaluator) BusPower(s Scheme, p Params, costs *CostTable, nproc int) (float64, error) {
 	return BusPower(s, p, costs, nproc)
 }

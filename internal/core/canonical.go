@@ -13,58 +13,166 @@ type ParamsUser interface {
 	ParamsUsed() []string
 }
 
+// fieldMask is a bitmask over the Table 7 parameter list in fieldSpecs
+// order: bit i set means fieldSpecs[i] influences a scheme's demand. It
+// exists so canonicalization — which sits on every cache lookup — runs
+// as straight field copies instead of name lookups and accessor
+// closures, keeping the hot path allocation-free.
+type fieldMask uint16
+
+// fieldMasker is implemented by the built-in schemes to expose their
+// ParamsUsed declaration as a precomputed fieldMask. CanonicalParams
+// prefers it over re-deriving the mask from the name list on every call.
+type fieldMasker interface {
+	fieldMask() fieldMask
+}
+
+// maskOf derives a fieldMask from a ParamsUsed name list. The second
+// return is false when a name is unknown (a wrong declaration), in which
+// case callers must fail safe and not collapse anything.
+func maskOf(names []string) (fieldMask, bool) {
+	var m fieldMask
+	for _, name := range names {
+		i, ok := fieldIndex[name]
+		if !ok {
+			return 0, false
+		}
+		m |= 1 << i
+	}
+	return m, true
+}
+
+// mustMask is maskOf for the package's own declarations, which are
+// validated against fieldSpecs at init.
+func mustMask(names []string) fieldMask {
+	m, ok := maskOf(names)
+	if !ok {
+		panic("core: ParamsUsed declaration names an unknown parameter")
+	}
+	return m
+}
+
+// canonical maps p onto the representative of its equivalence class
+// under m: masked-in fields copy through, everything else resets to the
+// fixed baseline (zero everywhere, minimum legal apl). The bit positions
+// are fieldSpecs order; TestFieldMaskMatchesFieldOrder pins the
+// correspondence.
+func (p Params) canonical(m fieldMask) Params {
+	out := Params{APL: 1}
+	if m&(1<<0) != 0 {
+		out.LS = p.LS
+	}
+	if m&(1<<1) != 0 {
+		out.MsDat = p.MsDat
+	}
+	if m&(1<<2) != 0 {
+		out.MsIns = p.MsIns
+	}
+	if m&(1<<3) != 0 {
+		out.MD = p.MD
+	}
+	if m&(1<<4) != 0 {
+		out.Shd = p.Shd
+	}
+	if m&(1<<5) != 0 {
+		out.WR = p.WR
+	}
+	if m&(1<<6) != 0 {
+		out.MdShd = p.MdShd
+	}
+	if m&(1<<7) != 0 {
+		out.APL = p.APL
+	}
+	if m&(1<<8) != 0 {
+		out.OClean = p.OClean
+	}
+	if m&(1<<9) != 0 {
+		out.OPres = p.OPres
+	}
+	if m&(1<<10) != 0 {
+		out.NShd = p.NShd
+	}
+	return out
+}
+
 // CanonicalParams maps p to a canonical representative of its equivalence
 // class under s: parameters the scheme declares unused are reset to a
 // fixed baseline, parameters it uses are copied through. Schemes that do
 // not implement ParamsUser canonicalize to p itself (every field
 // significant). The result is only suitable as a cache key — evaluate
 // demands with the original p, which carries the full validation state.
+//
+// The built-in schemes take an allocation-free path through their
+// precomputed fieldMask; other ParamsUser implementations pay a map
+// lookup per declared name but still allocate nothing.
 func CanonicalParams(s Scheme, p Params) Params {
+	if fm, ok := s.(fieldMasker); ok {
+		return p.canonical(fm.fieldMask())
+	}
 	u, ok := s.(ParamsUser)
 	if !ok {
 		return p
 	}
-	out := Params{APL: 1} // baseline: zero everywhere, minimum legal apl
-	for _, name := range u.ParamsUsed() {
-		f, err := FieldByName(name)
-		if err != nil {
-			return p // unknown declaration: fail safe, no collapsing
-		}
-		f.Set(&out, f.Get(&p))
+	m, ok := maskOf(u.ParamsUsed())
+	if !ok {
+		return p // unknown declaration: fail safe, no collapsing
 	}
-	return out
+	return p.canonical(m)
 }
+
+// The ParamsUsed declarations are shared package-level slices (callers
+// must treat them as read-only): ParamsUsed is consulted on cache-key
+// canonicalization paths, so returning a fresh literal per call would
+// put an allocation on every lookup. Each scheme's fieldMask is derived
+// from the same list at init, so the two can never drift.
+var (
+	baseUsed    = []string{"ls", "msdat", "mains", "md"}
+	noCacheUsed = []string{"ls", "msdat", "mains", "md", "shd", "wr"}
+	swFlushUsed = []string{"ls", "msdat", "mains", "md", "shd", "apl", "mdshd"}
+	dragonUsed  = []string{"ls", "msdat", "mains", "md", "shd", "wr", "oclean", "opres", "nshd"}
+	dirUsed     = []string{"ls", "msdat", "mains", "md", "shd", "wr", "opres"}
+	hybridUsed  = []string{"ls", "msdat", "mains", "md", "shd", "wr", "apl", "mdshd"}
+
+	baseMask    = mustMask(baseUsed)
+	noCacheMask = mustMask(noCacheUsed)
+	swFlushMask = mustMask(swFlushUsed)
+	dragonMask  = mustMask(dragonUsed)
+	dirMask     = mustMask(dirUsed)
+	hybridMask  = mustMask(hybridUsed)
+)
 
 // ParamsUsed implements ParamsUser: Base misses depend only on the
 // reference mix and miss rates (Table 3).
-func (Base) ParamsUsed() []string { return []string{"ls", "msdat", "mains", "md"} }
+func (Base) ParamsUsed() []string { return baseUsed }
+
+func (Base) fieldMask() fieldMask { return baseMask }
 
 // ParamsUsed implements ParamsUser (Table 4: shared references bypass the
 // cache, split by wr).
-func (NoCache) ParamsUsed() []string {
-	return []string{"ls", "msdat", "mains", "md", "shd", "wr"}
-}
+func (NoCache) ParamsUsed() []string { return noCacheUsed }
+
+func (NoCache) fieldMask() fieldMask { return noCacheMask }
 
 // ParamsUsed implements ParamsUser (Table 5: flush rate ls*shd/apl, dirty
 // flushes with probability mdshd; wr does not appear).
-func (SoftwareFlush) ParamsUsed() []string {
-	return []string{"ls", "msdat", "mains", "md", "shd", "apl", "mdshd"}
-}
+func (SoftwareFlush) ParamsUsed() []string { return swFlushUsed }
+
+func (SoftwareFlush) fieldMask() fieldMask { return swFlushMask }
 
 // ParamsUsed implements ParamsUser (Table 6: Dragon reacts to the sharing
 // parameters but ignores apl and mdshd, which are flush artifacts).
-func (Dragon) ParamsUsed() []string {
-	return []string{"ls", "msdat", "mains", "md", "shd", "wr", "oclean", "opres", "nshd"}
-}
+func (Dragon) ParamsUsed() []string { return dragonUsed }
+
+func (Dragon) fieldMask() fieldMask { return dragonMask }
 
 // ParamsUsed implements ParamsUser (extension scheme: invalidation
 // traffic scales with shd*wr*opres).
-func (Directory) ParamsUsed() []string {
-	return []string{"ls", "msdat", "mains", "md", "shd", "wr", "opres"}
-}
+func (Directory) ParamsUsed() []string { return dirUsed }
+
+func (Directory) fieldMask() fieldMask { return dirMask }
 
 // ParamsUsed implements ParamsUser: the hybrid combines the No-Cache and
 // Software-Flush parameter sets.
-func (Hybrid) ParamsUsed() []string {
-	return []string{"ls", "msdat", "mains", "md", "shd", "wr", "apl", "mdshd"}
-}
+func (Hybrid) ParamsUsed() []string { return hybridUsed }
+
+func (Hybrid) fieldMask() fieldMask { return hybridMask }

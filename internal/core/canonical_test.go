@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestFieldMaskMatchesFieldOrder pins the hand-unrolled field copies in
+// Params.canonical to fieldSpecs order: for every parameter index i,
+// canonicalizing under the single-bit mask 1<<i must copy exactly that
+// parameter through and reset everything else to the baseline. If a
+// field is ever added or the table reordered without updating canonical,
+// this fails before the cache can key on the wrong equivalence class.
+func TestFieldMaskMatchesFieldOrder(t *testing.T) {
+	fields := Fields()
+	// Distinctive source values: field i carries 10+i, never a baseline
+	// value (baseline is zero everywhere, apl 1).
+	var src Params
+	for i := range fields {
+		fields[i].Set(&src, float64(10+i))
+	}
+	for i, f := range fields {
+		got := src.canonical(1 << i)
+		for j, g := range fields {
+			want := 0.0
+			if g.Name == "apl" {
+				want = 1 // baseline apl
+			}
+			if j == i {
+				want = float64(10 + i)
+			}
+			if v := g.Get(&got); v != want {
+				t.Errorf("mask 1<<%d (%s): field %s = %g, want %g", i, f.Name, g.Name, v, want)
+			}
+		}
+	}
+}
+
+// maskedSchemes lists every scheme that precomputes a fieldMask.
+func maskedSchemes() []Scheme {
+	return []Scheme{Base{}, NoCache{}, SoftwareFlush{}, Dragon{}, Directory{}, Hybrid{LockFrac: 0.5}}
+}
+
+// TestFieldMaskersMatchParamsUsed checks every built-in scheme's
+// precomputed fieldMask agrees with its ParamsUsed declaration, so the
+// fast path and the declarative path can never canonicalize differently.
+func TestFieldMaskersMatchParamsUsed(t *testing.T) {
+	for _, s := range maskedSchemes() {
+		fm, ok := s.(fieldMasker)
+		if !ok {
+			t.Errorf("%s does not implement fieldMasker", s.Name())
+			continue
+		}
+		u, ok := s.(ParamsUser)
+		if !ok {
+			t.Errorf("%s does not implement ParamsUser", s.Name())
+			continue
+		}
+		want, ok := maskOf(u.ParamsUsed())
+		if !ok {
+			t.Errorf("%s: ParamsUsed names an unknown parameter", s.Name())
+			continue
+		}
+		if got := fm.fieldMask(); got != want {
+			t.Errorf("%s: fieldMask %011b != mask of ParamsUsed %011b", s.Name(), got, want)
+		}
+	}
+}
+
+// TestCanonicalParamsAllocationFree pins the zero-allocation contract of
+// the cache-key canonicalization path for every built-in scheme: the
+// memoizing evaluator calls CanonicalParams on every lookup, so a single
+// allocation here multiplies across all cached traffic.
+func TestCanonicalParamsAllocationFree(t *testing.T) {
+	p := MiddleParams()
+	for _, s := range maskedSchemes() {
+		s := s
+		if avg := testing.AllocsPerRun(100, func() {
+			CanonicalParams(s, p)
+		}); avg != 0 {
+			t.Errorf("%s: CanonicalParams allocates %.1f times per call, want 0", s.Name(), avg)
+		}
+	}
+}

@@ -82,7 +82,10 @@ func Ops() []Op {
 // of that time during which the bus (or network path) is held. Interconnect
 // never exceeds CPU.
 type Cost struct {
-	CPU          float64
+	// CPU is the total processor time in cycles absent contention.
+	CPU float64
+	// Interconnect is the portion of CPU during which the bus (or
+	// network path) is held.
 	Interconnect float64
 }
 

@@ -13,7 +13,9 @@ var ErrUnsupported = errors.New("core: scheme unsupported on this interconnect")
 
 // OpFreq pairs an operation with its frequency per (non-flush) instruction.
 type OpFreq struct {
-	Op   Op
+	// Op is the bus/network operation.
+	Op Op
+	// Freq is the operation's frequency per (non-flush) instruction.
 	Freq float64
 }
 

@@ -1,0 +1,112 @@
+package queueing
+
+import "testing"
+
+// TestExtendBitIdentical is the contract the evaluator's incremental
+// kernel rests on: extending a prefix to N must reproduce the full solve
+// for N bit for bit, not merely to within a tolerance. Both code paths
+// execute the identical loop body, so any drift here means the shared
+// recursion was forked by accident.
+func TestExtendBitIdentical(t *testing.T) {
+	const think, service = 19.37, 2.63
+	const max = 257
+	full, err := SingleServerMVA(think, service, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, split := range []int{0, 1, 2, 7, 64, 255, 256, 257} {
+		ext, err := ExtendSingleServerMVA(think, service, full[:split], max, nil)
+		if err != nil {
+			t.Fatalf("split %d: %v", split, err)
+		}
+		if len(ext) != max {
+			t.Fatalf("split %d: got %d results, want %d", split, len(ext), max)
+		}
+		for i := range ext {
+			if ext[i] != full[i] {
+				t.Fatalf("split %d: population %d differs:\n ext  %+v\n full %+v",
+					split, i+1, ext[i], full[i])
+			}
+		}
+	}
+}
+
+// TestExtendDoesNotAliasPrefix guards the concurrency contract: the
+// returned slice must never share a backing array with the prefix, which
+// may be a published cache entry other goroutines read lock-free.
+func TestExtendDoesNotAliasPrefix(t *testing.T) {
+	full, err := SingleServerMVA(10, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := full[:4]
+	saved := prefix[3]
+	ext, err := ExtendSingleServerMVA(10, 1, prefix, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext[3].Throughput = -1
+	if prefix[3] != saved {
+		t.Fatal("extension mutated the prefix backing array")
+	}
+}
+
+// TestExtendReusesDst pins the zero-allocation path: a dst with enough
+// capacity becomes the backing array of the result.
+func TestExtendReusesDst(t *testing.T) {
+	full, err := SingleServerMVA(10, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]SingleServerResult, 0, 32)
+	ext, err := ExtendSingleServerMVA(10, 1, full, 16, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &ext[0] != &dst[:1][0] {
+		t.Fatal("dst with sufficient capacity was not reused")
+	}
+	want, err := SingleServerMVA(10, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if ext[i] != want[i] {
+			t.Fatalf("population %d differs after dst reuse", i+1)
+		}
+	}
+}
+
+// TestExtendLongPrefixTruncates: a prefix longer than the request yields
+// exactly the first customers entries.
+func TestExtendLongPrefixTruncates(t *testing.T) {
+	full, err := SingleServerMVA(10, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := ExtendSingleServerMVA(10, 1, full, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext) != 5 {
+		t.Fatalf("got %d results, want 5", len(ext))
+	}
+	for i := range ext {
+		if ext[i] != full[i] {
+			t.Fatalf("population %d differs", i+1)
+		}
+	}
+}
+
+// TestExtendErrors: domain checks match SingleServerMVA's.
+func TestExtendErrors(t *testing.T) {
+	if _, err := ExtendSingleServerMVA(10, 1, nil, 0, nil); err == nil {
+		t.Error("customers 0 accepted")
+	}
+	if _, err := ExtendSingleServerMVA(-1, 1, nil, 4, nil); err == nil {
+		t.Error("negative think accepted")
+	}
+	if _, err := ExtendSingleServerMVA(10, -1, nil, 4, nil); err == nil {
+		t.Error("negative service accepted")
+	}
+}

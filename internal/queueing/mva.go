@@ -45,15 +45,47 @@ type SingleServerResult struct {
 //
 // This is the bus contention model: think = c-b, service = b.
 func SingleServerMVA(think, service float64, customers int) ([]SingleServerResult, error) {
+	return ExtendSingleServerMVA(think, service, nil, customers, nil)
+}
+
+// ExtendSingleServerMVA resumes the single-server MVA recursion from a
+// previously computed prefix: given the solution for populations
+// 1..len(prefix), it produces the solution for 1..customers without
+// redoing the prefix. The recursion's only inter-population state is the
+// mean queue length, so resuming from prefix's last QueueLength yields
+// results bit-identical to a full solve — both paths run the exact same
+// loop body over the same float64 sequence.
+//
+// The prefix is copied: callers may pass a slice that other goroutines
+// are reading concurrently (e.g. a published cache entry) and the result
+// never writes through it. When dst has capacity for customers results
+// it is reused as the backing array; otherwise a fresh slice is
+// allocated. dst may share prefix's backing array only when both start
+// at the same element (in-place growth of a private buffer) — a
+// partially overlapping dst would corrupt the prefix copy. A nil prefix
+// is a full solve from population 1.
+func ExtendSingleServerMVA(think, service float64, prefix []SingleServerResult, customers int, dst []SingleServerResult) ([]SingleServerResult, error) {
 	if customers < 1 {
 		return nil, fmt.Errorf("%w: customers %d < 1", ErrInvalidInput, customers)
 	}
 	if think < 0 || service < 0 {
 		return nil, fmt.Errorf("%w: think %g or service %g negative", ErrInvalidInput, think, service)
 	}
-	results := make([]SingleServerResult, customers)
+	if len(prefix) > customers {
+		prefix = prefix[:customers]
+	}
+	var results []SingleServerResult
+	if cap(dst) >= customers {
+		results = dst[:customers]
+	} else {
+		results = make([]SingleServerResult, customers)
+	}
+	copy(results, prefix)
 	q := 0.0 // queue length with n-1 customers
-	for n := 1; n <= customers; n++ {
+	if n := len(prefix); n > 0 {
+		q = prefix[n-1].QueueLength
+	}
+	for n := len(prefix) + 1; n <= customers; n++ {
 		r := service * (1 + q)
 		var x float64
 		if think+r > 0 {
@@ -87,7 +119,9 @@ type Station struct {
 // NetworkResult holds the MVA solution of a multi-station closed network
 // at one population.
 type NetworkResult struct {
-	Customers  int
+	// Customers is the population N the metrics refer to.
+	Customers int
+	// Throughput is the system throughput in customers per cycle.
 	Throughput float64
 	// CycleTime is the mean time for one customer to traverse all
 	// stations once (N / Throughput).

@@ -24,6 +24,18 @@ type sweepRequest struct {
 type sweepResponse struct {
 	Count   int           `json:"count"`
 	Results []busResponse `json:"results"`
+	// release returns the response's pooled buffers (Results and every
+	// Points slice inside it). writeJSON calls it through the
+	// bufferReleaser hook once the response bytes are encoded; error
+	// paths call it directly. Nil when nothing is pooled.
+	release func() `json:"-"`
+}
+
+// ReleaseBuffers implements bufferReleaser.
+func (r sweepResponse) ReleaseBuffers() {
+	if r.release != nil {
+		r.release()
+	}
 }
 
 // sweepJob is one validated point, ready to solve.
@@ -33,6 +45,10 @@ type sweepJob struct {
 	procs  int
 	point  bool
 }
+
+// responsePool recycles per-batch result slices across /v1/sweep
+// requests; the per-point Points buffers come from sweep.AcquirePoints.
+var responsePool sweep.SlicePool[busResponse]
 
 // pointErr prefixes a per-point validation error with its index so the
 // client knows which grid cell to fix, preserving the status code.
@@ -81,47 +97,94 @@ func (s *Server) handleSweep(ctx context.Context, body []byte) (any, error) {
 	}
 	costs := core.BusCosts()
 	return s.solve(ctx, func() (any, error) {
-		results := make([]busResponse, len(jobs))
+		// Points sharing one (scheme, canonical workload) form a group a
+		// single worker solves population-ascending through a CurveRun —
+		// each point resumes the MVA recursion where the previous one
+		// stopped. Result and per-point Points buffers come from pools;
+		// the response's release hook returns them after encoding.
+		groups := sweep.BatchGroups(len(jobs), func(i int) (core.Scheme, core.Params, int) {
+			return jobs[i].scheme, jobs[i].params, jobs[i].procs
+		})
+		resultsBuf := responsePool.Acquire(len(jobs))
+		results := *resultsBuf
+		pointBufs := make([]*[]core.BusPoint, len(jobs))
+		release := func() {
+			for _, pb := range pointBufs {
+				if pb != nil {
+					sweep.ReleasePoints(pb)
+				}
+			}
+			responsePool.Release(resultsBuf)
+		}
 		errs := make([]error, len(jobs))
-		sweep.EachCtx(ctx, 0, len(jobs), func(i int) (err error) {
-			// Each point is a fault-injection site and a cancellation
-			// point, and the pool's worker goroutines have no recover of
-			// their own — an injected (or model) panic here must become
-			// this point's error, not kill the process.
-			defer func() {
-				if p := recover(); p != nil {
-					errs[i] = fmt.Errorf("serve: internal error: %v", p)
-				}
-			}()
-			if err := s.cfg.Fault.Point(ctx); err != nil {
-				errs[i] = err
-				return nil
+		sweep.EachCtx(ctx, 0, len(groups), func(g int) error {
+			var run *sweep.CurveRun
+			for _, i := range groups[g] {
+				s.solveSweepPoint(ctx, jobs[i], costs, &run, &results[i], &pointBufs[i], &errs[i])
 			}
-			j := jobs[i]
-			resp := busResponse{Scheme: schemeLabel(j.scheme), Costs: costs.Name, Procs: j.procs}
-			if j.point {
-				pt, err := s.ev.BusPointCtx(ctx, j.scheme, j.params, costs, j.procs)
-				if err != nil {
-					errs[i] = err
-					return nil
-				}
-				resp.Points = []core.BusPoint{pt}
-			} else {
-				pts, err := s.ev.EvaluateBusCtx(ctx, j.scheme, j.params, costs, j.procs)
-				if err != nil {
-					errs[i] = err
-					return nil
-				}
-				resp.Points = pts
+			if run != nil {
+				run.Finish(ctx)
 			}
-			results[i] = resp
 			return nil
 		})
 		if err := sweepError(ctx, errs); err != nil {
+			release()
 			return nil, err
 		}
-		return sweepResponse{Count: len(results), Results: results}, nil
+		return sweepResponse{Count: len(results), Results: results, release: release}, nil
 	})
+}
+
+// solveSweepPoint answers one grid cell of a batch into *out, reusing
+// (or starting) the group's CurveRun. Each point remains its own
+// fault-injection site and cancellation point, and the pool's worker
+// goroutines have no recover of their own — an injected (or model)
+// panic here must become this point's error, not kill the process.
+func (s *Server) solveSweepPoint(ctx context.Context, j sweepJob, costs *core.CostTable, run **sweep.CurveRun, out *busResponse, pointBuf **[]core.BusPoint, errOut *error) {
+	defer func() {
+		if p := recover(); p != nil {
+			*errOut = fmt.Errorf("serve: internal error: %v", p)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		*errOut = err
+		return
+	}
+	if err := s.cfg.Fault.Point(ctx); err != nil {
+		*errOut = err
+		return
+	}
+	if *run == nil {
+		r, err := s.ev.StartCurveRun(ctx, j.scheme, j.params, costs)
+		if err != nil {
+			*errOut = err
+			return
+		}
+		*run = r
+	}
+	resp := busResponse{Scheme: schemeLabel(j.scheme), Costs: costs.Name, Procs: j.procs}
+	if j.point {
+		pt, err := (*run).BusPointAt(ctx, j.procs)
+		if err != nil {
+			*errOut = err
+			return
+		}
+		buf := sweep.AcquirePoints(1)
+		(*buf)[0] = pt
+		*pointBuf = buf
+		resp.Points = *buf
+	} else {
+		buf := sweep.AcquirePoints(j.procs)
+		pts, err := (*run).BusPointsInto(ctx, j.procs, *buf)
+		if err != nil {
+			sweep.ReleasePoints(buf)
+			*errOut = err
+			return
+		}
+		*pointBuf = buf
+		resp.Points = pts
+	}
+	*out = resp
 }
 
 // sweepError maps a finished batch's per-point errors to the one error

@@ -53,6 +53,50 @@ func TestSweepGolden(t *testing.T) {
 	}
 }
 
+// TestSweepGroupedCurvesGolden targets the batch-aware solve path: many
+// points sharing one (scheme, workload) at different machine sizes, fed
+// population-descending, mixing full curves and single points. Each
+// result must stay byte-identical to its standalone /v1/bus response —
+// the grouped incremental solver may not perturb a single output byte.
+func TestSweepGroupedCurvesGolden(t *testing.T) {
+	points := []string{
+		`{"scheme": "dragon", "procs": 64}`,
+		`{"scheme": "dragon", "procs": 8}`,
+		`{"scheme": "dragon", "procs": 32, "point": true}`,
+		`{"scheme": "dragon", "procs": 8}`, // duplicate
+		`{"scheme": "dragon", "procs": 128}`,
+		`{"scheme": "base", "procs": 16}`,
+	}
+	_, batchSrv := newTestServer(t, Config{})
+	code, body := post(t, batchSrv, "/v1/sweep",
+		`{"points": [`+strings.Join(points, ",")+`]}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp struct {
+		Count   int               `json:"count"`
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != len(points) {
+		t.Fatalf("count = %d, want %d", resp.Count, len(points))
+	}
+	_, refSrv := newTestServer(t, Config{})
+	for i, p := range points {
+		refCode, refBody := post(t, refSrv, "/v1/bus", p)
+		if refCode != http.StatusOK {
+			t.Fatalf("reference point %d: status %d: %s", i, refCode, refBody)
+		}
+		want := strings.TrimSuffix(string(refBody), "\n")
+		if string(resp.Results[i]) != want {
+			t.Errorf("results[%d] diverged from /v1/bus:\n got: %s\nwant: %s",
+				i, resp.Results[i], want)
+		}
+	}
+}
+
 // TestSweepValidation sweeps the batch endpoint's rejection boundary:
 // malformed batches are 400s, and per-point failures name the offending
 // index so the client knows which grid cell to fix.

@@ -10,6 +10,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"swcc/internal/core"
@@ -136,20 +137,46 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	s.writeJSON(w, code, errorResponse{Error: err.Error()})
 }
 
+// bufferReleaser is implemented by responses whose fields reference
+// pooled buffers. writeJSON invokes it immediately after encoding — the
+// earliest moment the buffers are provably no longer referenced — so
+// callers that build pooled responses need no extra bookkeeping on the
+// success path.
+type bufferReleaser interface {
+	ReleaseBuffers()
+}
+
+// encodeBufPool recycles the response encode buffers across requests.
+// Buffers that grew beyond encodeBufMax bytes (a giant sweep response)
+// are dropped rather than pinned in the pool forever.
+var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const encodeBufMax = 1 << 20
+
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
-	data, err := json.Marshal(v)
+	buf := encodeBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	// Encoder.Encode writes the same bytes json.Marshal produces plus
+	// the trailing newline every response here always carried.
+	err := json.NewEncoder(buf).Encode(v)
+	if rel, ok := v.(bufferReleaser); ok {
+		rel.ReleaseBuffers()
+	}
 	if err != nil {
 		// Responses are plain data structs; failing to marshal one is a
 		// programming error, not a client error.
 		code = http.StatusInternalServerError
-		data = []byte(`{"error":"encoding response"}`)
+		buf.Reset()
+		buf.WriteString("{\"error\":\"encoding response\"}\n")
 		s.log.Error("marshal response", "err", err)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	data = append(data, '\n')
-	if _, err := w.Write(data); err != nil {
+	if _, err := w.Write(buf.Bytes()); err != nil {
 		s.log.Debug("write response", "err", err)
+	}
+	if buf.Cap() <= encodeBufMax {
+		encodeBufPool.Put(buf)
 	}
 }
 

@@ -172,6 +172,8 @@ func (m *metrics) write(w io.Writer, ev *sweep.Evaluator, inj *fault.Injector) {
 	counter("swcc_demand_cache_hits_total", "Demand queries served from the memo.", st.DemandHits)
 	counter("swcc_mva_solves_total", "SingleServerMVA recursions (cache misses).", st.MVASolves)
 	counter("swcc_mva_cache_hits_total", "MVA curve queries served from the memo.", st.MVAHits)
+	counter("swcc_curve_extends_total", "MVA solves resumed from a cached shorter curve.", st.CurveExtends)
+	counter("swcc_curve_full_solves_total", "MVA solves started cold from population 1.", st.CurveFullSolves)
 
 	fmt.Fprintf(w, "# HELP swcc_cache_entries Current entries per evaluator cache.\n# TYPE swcc_cache_entries gauge\n")
 	fmt.Fprintf(w, "swcc_cache_entries{cache=\"demand\"} %d\n", st.DemandEntries)

@@ -67,8 +67,14 @@ type Stats struct {
 	// cache hits.
 	DemandSolves, DemandHits uint64
 	// MVASolves and MVAHits count SingleServerMVA recursions and curve
-	// cache hits.
+	// cache hits. MVASolves is the sum of CurveExtends and
+	// CurveFullSolves: every real recursion segment, however seeded.
 	MVASolves, MVAHits uint64
+	// CurveExtends counts MVA solves that resumed the recursion from a
+	// cached shorter curve instead of restarting at population 1;
+	// CurveFullSolves counts solves that started cold. Their ratio says
+	// how much of the kernel's work the incremental path is saving.
+	CurveExtends, CurveFullSolves uint64
 	// DemandDedups and MVADedups count concurrent misses that waited for
 	// (and shared) another goroutine's in-flight solve instead of
 	// re-solving — the singleflight savings under parallel load.
@@ -246,6 +252,7 @@ type Evaluator struct {
 
 	demandSolves, demandHits, demandDedups atomic.Uint64
 	mvaSolves, mvaHits, mvaDedups          atomic.Uint64
+	curveExtends, curveFullSolves          atomic.Uint64
 	demandEvictions, curveEvictions        atomic.Uint64
 
 	// obsv, when non-nil, receives stage timings and cache events. Set
@@ -302,6 +309,8 @@ func (ev *Evaluator) Stats() Stats {
 		DemandHits:      ev.demandHits.Load(),
 		MVASolves:       ev.mvaSolves.Load(),
 		MVAHits:         ev.mvaHits.Load(),
+		CurveExtends:    ev.curveExtends.Load(),
+		CurveFullSolves: ev.curveFullSolves.Load(),
 		DemandDedups:    ev.demandDedups.Load(),
 		MVADedups:       ev.mvaDedups.Load(),
 		DemandEvictions: ev.demandEvictions.Load(),
@@ -525,18 +534,35 @@ func cloneCurve(c []queueing.SingleServerResult, n int) []queueing.SingleServerR
 	return append([]queueing.SingleServerResult(nil), c[:n]...)
 }
 
-// curve returns the MVA results for populations 1..n, reusing (a prefix
-// of) a previously solved curve for the same (think, service) when long
-// enough. The MVA recursion computes 1..n in one pass, so a longer curve's
-// prefix is bit-identical to a shorter solve.
+// curve is curveShared with a caller-owned clone of the result, for the
+// few callers that hand the slice to code outside the evaluator's
+// immutability regime.
+func (ev *Evaluator) curve(ctx context.Context, d core.Demand, n int) ([]queueing.SingleServerResult, error) {
+	c, err := ev.curveShared(ctx, d, n)
+	if err != nil {
+		return nil, err
+	}
+	return cloneCurve(c, n), nil
+}
+
+// curveShared returns the MVA results for populations 1..n, reusing (a
+// prefix of) a previously solved curve for the same (think, service) when
+// long enough, and — the incremental kernel — resuming the recursion from
+// a cached shorter curve when one exists instead of restarting at
+// population 1. The MVA recursion's only inter-population state is the
+// queue length, so both reuses are bit-identical to a cold solve of n.
+//
+// The returned slice has length >= n and is SHARED and immutable: it is
+// a published cache entry, a completed flight value, or the solve about
+// to become one. Callers must not mutate or pool it; use curve for a
+// caller-owned copy.
 //
 // Concurrent misses on one key join an in-flight solve when its target
 // population covers theirs; a request for a longer curve than the one in
 // flight becomes a new leader (superseding the old flight for future
 // waiters) rather than waiting for a result it cannot use. Either way
-// the published curve for a key only ever grows, and every returned
-// slice is a caller-owned clone.
-func (ev *Evaluator) curve(ctx context.Context, d core.Demand, n int) ([]queueing.SingleServerResult, error) {
+// the published curve for a key only ever grows.
+func (ev *Evaluator) curveShared(ctx context.Context, d core.Demand, n int) ([]queueing.SingleServerResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -550,7 +576,7 @@ func (ev *Evaluator) curve(ctx context.Context, d core.Demand, n int) ([]queuein
 	sh.mu.RLock()
 	if sl, ok := sh.entries[key]; ok && len(sl.v) >= n {
 		sl.ref.Store(true)
-		out := cloneCurve(sl.v, n)
+		out := sl.v // immutable once published; safe to read after unlock
 		sh.mu.RUnlock()
 		ev.mvaHits.Add(1)
 		if ev.obsv != nil {
@@ -564,7 +590,7 @@ func (ev *Evaluator) curve(ctx context.Context, d core.Demand, n int) ([]queuein
 	sh.mu.Lock()
 	if sl, ok := sh.entries[key]; ok && len(sl.v) >= n {
 		sl.ref.Store(true)
-		out := cloneCurve(sl.v, n)
+		out := sl.v
 		sh.mu.Unlock()
 		ev.mvaHits.Add(1)
 		if ev.obsv != nil {
@@ -598,7 +624,17 @@ func (ev *Evaluator) curve(ctx context.Context, d core.Demand, n int) ([]queuein
 		if ev.obsv != nil {
 			ev.obsv.CacheEvent(ctx, "mva", EventDedupJoin)
 		}
-		return cloneCurve(fl.v, n), nil
+		return fl.v, nil
+	}
+	// Miss. Capture whatever prefix of this key's curve is already
+	// published: the recursion resumes from its final queue length
+	// instead of restarting at population 1. The slice is immutable once
+	// published, so holding the reference across the solve is safe even
+	// if the entry is evicted or superseded meanwhile.
+	var prefix []queueing.SingleServerResult
+	if sl, ok := sh.entries[key]; ok {
+		sl.ref.Store(true)
+		prefix = sl.v
 	}
 	fl := &flight[[]queueing.SingleServerResult]{n: n, done: make(chan struct{})}
 	sh.inflight[key] = fl
@@ -608,7 +644,7 @@ func (ev *Evaluator) curve(ctx context.Context, d core.Demand, n int) ([]queuein
 	if ev.obsv != nil {
 		ssp = obs.Start()
 	}
-	fl.v, fl.err = queueing.SingleServerMVA(d.Think(), d.Interconnect, n)
+	fl.v, fl.err = queueing.ExtendSingleServerMVA(d.Think(), d.Interconnect, prefix, n, nil)
 	if ev.obsv != nil {
 		ev.obsv.StageObserved(ctx, StageSolve, ssp.Seconds())
 		ev.obsv.CacheEvent(ctx, "mva", EventMiss)
@@ -620,9 +656,14 @@ func (ev *Evaluator) curve(ctx context.Context, d core.Demand, n int) ([]queuein
 	}
 	if fl.err == nil {
 		ev.mvaSolves.Add(1)
+		if len(prefix) > 0 {
+			ev.curveExtends.Add(1)
+		} else {
+			ev.curveFullSolves.Add(1)
+		}
 		if sl, ok := sh.entries[key]; !ok || len(sl.v) < len(fl.v) {
 			// The flight's slice becomes the cache-owned immutable copy;
-			// every reader (including the leader below) takes clones.
+			// readers share it and never mutate.
 			if sh.put(key, fl.v, ev.shardCap) {
 				ev.curveEvictions.Add(1)
 				evicted = true
@@ -637,7 +678,7 @@ func (ev *Evaluator) curve(ctx context.Context, d core.Demand, n int) ([]queuein
 	if fl.err != nil {
 		return nil, fl.err
 	}
-	return cloneCurve(fl.v, n), nil
+	return fl.v, nil
 }
 
 // curvePoint returns the single MVA result at population n, without the
@@ -664,7 +705,7 @@ func (ev *Evaluator) curvePoint(ctx context.Context, d core.Demand, n int) (queu
 		return r, nil
 	}
 	sh.mu.RUnlock()
-	c, err := ev.curve(ctx, d, n)
+	c, err := ev.curveShared(ctx, d, n)
 	if err != nil {
 		return queueing.SingleServerResult{}, err
 	}
@@ -680,6 +721,16 @@ func (ev *Evaluator) EvaluateBus(s core.Scheme, p core.Params, costs *core.CostT
 // EvaluateBusCtx is EvaluateBus with an observability context (see
 // DemandCtx); results are identical to EvaluateBus.
 func (ev *Evaluator) EvaluateBusCtx(ctx context.Context, s core.Scheme, p core.Params, costs *core.CostTable, maxProcs int) ([]core.BusPoint, error) {
+	return ev.EvaluateBusIntoCtx(ctx, s, p, costs, maxProcs, nil)
+}
+
+// EvaluateBusIntoCtx is EvaluateBusCtx with a caller-provided result
+// buffer: when cap(dst) >= maxProcs the returned slice reuses dst's
+// backing array, so a warm (demand-hit, curve-hit) evaluation allocates
+// nothing. The bus points are converted straight off the shared cached
+// curve — the intermediate MVA slice is never cloned. A nil or short dst
+// falls back to allocating, which is how EvaluateBusCtx calls it.
+func (ev *Evaluator) EvaluateBusIntoCtx(ctx context.Context, s core.Scheme, p core.Params, costs *core.CostTable, maxProcs int, dst []core.BusPoint) ([]core.BusPoint, error) {
 	if maxProcs < 1 {
 		return nil, fmt.Errorf("core: maxProcs %d < 1", maxProcs)
 	}
@@ -687,13 +738,18 @@ func (ev *Evaluator) EvaluateBusCtx(ctx context.Context, s core.Scheme, p core.P
 	if err != nil {
 		return nil, err
 	}
-	mva, err := ev.curve(ctx, d, maxProcs)
+	mva, err := ev.curveShared(ctx, d, maxProcs)
 	if err != nil {
 		return nil, err
 	}
-	points := make([]core.BusPoint, maxProcs)
-	for i, r := range mva {
-		points[i] = core.BusPointFromMVA(d, r)
+	var points []core.BusPoint
+	if cap(dst) >= maxProcs {
+		points = dst[:maxProcs]
+	} else {
+		points = make([]core.BusPoint, maxProcs)
+	}
+	for i := 0; i < maxProcs; i++ {
+		points[i] = core.BusPointFromMVA(d, mva[i])
 	}
 	return points, nil
 }

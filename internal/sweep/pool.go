@@ -1,0 +1,104 @@
+package sweep
+
+import (
+	"sync"
+
+	"swcc/internal/core"
+	"swcc/internal/queueing"
+)
+
+// Length-bucketed slice pools for the hot batch paths. A sweep batch
+// churns through short-lived result slices whose lengths vary with the
+// requested machine size; a single sync.Pool would hand a 4096-point
+// buffer to a 4-point request (wasting cache lines) or the reverse
+// (forcing reallocation). Bucketing by power-of-two capacity keeps
+// reuse high across mixed batch shapes.
+
+// poolMinShift is the smallest class capacity (1<<poolMinShift); smaller
+// requests round up. poolClasses spans capacities up to 1<<18, past the
+// server's MaxProcs and batch caps, so every legal request has a class.
+const (
+	poolMinShift = 3
+	poolClasses  = 16
+)
+
+// classFor returns the smallest class whose capacity covers n, or -1
+// when n exceeds the largest class (the caller then allocates directly;
+// such slices are never pooled).
+func classFor(n int) int {
+	c := 0
+	for n > 1<<(poolMinShift+c) {
+		c++
+		if c >= poolClasses {
+			return -1
+		}
+	}
+	return c
+}
+
+// SlicePool is a set of sync.Pools bucketed by power-of-two capacity.
+// It stores *[]T (not []T) so Put never boxes a slice header into a
+// fresh allocation. The zero value is ready to use. Buffers released to
+// the pool are cleared, so pooling never pins a finished request's data.
+type SlicePool[T any] struct {
+	classes [poolClasses]sync.Pool
+}
+
+// Acquire returns a *[]T of length n whose capacity is the class size.
+// The contents are zeroed (fresh or recycled alike). Pass the same
+// pointer to Release when the slice is no longer referenced.
+func (p *SlicePool[T]) Acquire(n int) *[]T {
+	c := classFor(n)
+	if c < 0 {
+		s := make([]T, n)
+		return &s
+	}
+	if v := p.classes[c].Get(); v != nil {
+		s := v.(*[]T)
+		*s = (*s)[:n]
+		return s
+	}
+	s := make([]T, n, 1<<(poolMinShift+c))
+	return &s
+}
+
+// Release returns a slice to its class. Slices whose capacity is not an
+// exact class size (including oversized direct allocations) are dropped
+// for the GC. The slice is cleared first so pooled memory never pins
+// result data or interface values from a finished request.
+func (p *SlicePool[T]) Release(s *[]T) {
+	if s == nil {
+		return
+	}
+	c := classFor(cap(*s))
+	if c < 0 || cap(*s) != 1<<(poolMinShift+c) {
+		return
+	}
+	*s = (*s)[:cap(*s)]
+	clear(*s)
+	*s = (*s)[:0]
+	p.classes[c].Put(s)
+}
+
+var (
+	busPointPool SlicePool[core.BusPoint]
+	curveBufPool SlicePool[queueing.SingleServerResult]
+	resultPool   SlicePool[Result]
+)
+
+// AcquirePoints returns a pooled []core.BusPoint of length n. Pass the
+// returned pointer to ReleasePoints when the slice is no longer
+// referenced (after encoding a response, not before). The slice must not
+// be retained past release.
+func AcquirePoints(n int) *[]core.BusPoint { return busPointPool.Acquire(n) }
+
+// ReleasePoints returns a buffer obtained from AcquirePoints to the pool.
+func ReleasePoints(s *[]core.BusPoint) { busPointPool.Release(s) }
+
+// AcquireResults returns a pooled []Result of length n; release with
+// ReleaseResults under the same rules as AcquirePoints.
+func AcquireResults(n int) *[]Result { return resultPool.Acquire(n) }
+
+// ReleaseResults returns a buffer obtained from AcquireResults to the
+// pool.
+func ReleaseResults(s *[]Result) { resultPool.Release(s) }

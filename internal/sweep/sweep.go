@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -53,6 +54,13 @@ func (e *Engine) workers() int {
 // results in input order. Scheduling never affects the output: each
 // worker writes only its own slots and every solve is a pure function of
 // the point, so the result slice is bit-identical to a sequential run.
+//
+// With a cache attached, points sharing one (scheme, canonical workload)
+// are grouped into a single work unit that a worker solves
+// population-ascending through a CurveRun: each point resumes the MVA
+// recursion where the previous one stopped, instead of round-tripping
+// the shared cache per point. Single-point groups take the plain
+// BusPoint path unchanged.
 func (e *Engine) EvaluateBus(points []Point, costs *core.CostTable) []Result {
 	results := make([]Result, len(points))
 	workers := 1
@@ -61,19 +69,60 @@ func (e *Engine) EvaluateBus(points []Point, costs *core.CostTable) []Result {
 		workers = e.workers()
 		cache = e.Cache
 	}
-	Each(workers, len(points), func(i int) error {
-		pt := points[i]
-		results[i].Point = pt
-		if cache != nil {
+	if cache == nil {
+		Each(workers, len(points), func(i int) error {
+			pt := points[i]
+			results[i].Point = pt
+			bus, err := core.EvaluateBus(pt.Scheme, pt.Params, costs, pt.NProc)
+			if err != nil {
+				results[i].Err = err
+				return nil
+			}
+			results[i].Bus = bus[pt.NProc-1]
+			return nil
+		})
+		return results
+	}
+	groups := BatchGroups(len(points), func(i int) (core.Scheme, core.Params, int) {
+		return points[i].Scheme, points[i].Params, points[i].NProc
+	})
+	ctx := context.Background()
+	Each(workers, len(groups), func(g int) error {
+		for _, i := range groups[g] {
+			results[i].Point = points[i]
+		}
+		if len(groups[g]) == 1 {
+			i := groups[g][0]
+			pt := points[i]
 			results[i].Bus, results[i].Err = cache.BusPoint(pt.Scheme, pt.Params, costs, pt.NProc)
 			return nil
 		}
-		bus, err := core.EvaluateBus(pt.Scheme, pt.Params, costs, pt.NProc)
-		if err != nil {
-			results[i].Err = err
-			return nil
+		var run *CurveRun
+		for _, i := range groups[g] {
+			pt := points[i]
+			// Per-point validation order matches BusPoint exactly, so
+			// grouping never changes which error a point reports.
+			if pt.NProc < 1 {
+				results[i].Err = fmt.Errorf("core: nproc %d < 1", pt.NProc)
+				continue
+			}
+			if err := pt.Params.Validate(); err != nil {
+				results[i].Err = fmt.Errorf("%s: %w", pt.Scheme.Name(), err)
+				continue
+			}
+			if run == nil {
+				r, err := cache.StartCurveRun(ctx, pt.Scheme, pt.Params, costs)
+				if err != nil {
+					results[i].Err = err
+					continue
+				}
+				run = r
+			}
+			results[i].Bus, results[i].Err = run.BusPointAt(ctx, pt.NProc)
 		}
-		results[i].Bus = bus[pt.NProc-1]
+		if run != nil {
+			run.Finish(ctx)
+		}
 		return nil
 	})
 	return results
