@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-hammer bench bench-short bench-json bench-diff alloc-check check serve smoke chaos-smoke loadgen docs-check artifacts examples golden cover clean
+.PHONY: all build test vet race race-hammer bench bench-short bench-json bench-diff alloc-check check serve smoke chaos-smoke jobs-smoke loadgen docs-check artifacts examples golden cover clean
 
 all: build vet test
 
@@ -33,15 +33,17 @@ bench-short:
 	$(GO) test -run=NONE -bench='BenchmarkSimHotLoop|BenchmarkTraceRestrict' -benchmem ./internal/sim
 
 # This PR's serving-latency record: cohereload drives the hit-heavy and
-# miss-heavy mixes against an in-process daemon and writes the
-# p50/p90/p99 summary to BENCH_PR6.json. Earlier records
-# (BENCH_PR3..5.json) are append-only history — bench-json never
-# rewrites them, so `bench-diff` always compares against the numbers
-# the previous PR actually merged with.
+# miss-heavy mixes against an in-process daemon, then the async-job
+# drill appends its streaming scenarios to the same record (the second
+# invocation merges into an existing -out file rather than clobbering
+# it). Earlier records (BENCH_PR3..6.json) are append-only history —
+# bench-json never rewrites them, so `bench-diff` always compares
+# against the numbers the previous PR actually merged with.
 bench-json:
 	$(GO) run ./cmd/cohereload -c 8 -d 3s -hit-ratios 0.95,0.05 \
-		-out BENCH_PR6.json > /dev/null
-	@echo "bench-json: wrote BENCH_PR6.json"
+		-out BENCH_PR7.json > /dev/null
+	$(GO) run ./cmd/cohereload -jobs -out BENCH_PR7.json > /dev/null
+	@echo "bench-json: wrote BENCH_PR7.json (latency mixes + jobs drill)"
 
 # Cross-PR regression gate: compare the newest benchmark record against
 # the newest earlier record sharing a scenario, and fail if p99 latency
@@ -77,10 +79,19 @@ chaos-smoke:
 	$(GO) run ./cmd/cohereload -chaos -c 12 -d 1s > /dev/null
 	@echo "chaos-smoke: ok (no 500s, shedding observed)"
 
+# Async-job drill: cohereload's jobs mode submits a 20k-point grid job
+# against an in-process daemon, streams every NDJSON row, then cancels
+# a second job mid-stream and checks it is gone (see OPERATIONS.md's
+# job API section). Runs under the race detector: the job runner, the
+# spool's back-pressure, and the streaming handler all cross goroutines.
+jobs-smoke:
+	$(GO) run -race ./cmd/cohereload -jobs > /dev/null
+	@echo "jobs-smoke: ok (all rows streamed, cancel verified)"
+
 # The pre-merge gate: vet, the race-enabled test run, the repeated
 # concurrency hammers, the allocation pins (non-race), the
-# documentation gate, and the overload drill.
-check: vet race race-hammer alloc-check docs-check chaos-smoke
+# documentation gate, and the overload + async-job drills.
+check: vet race race-hammer alloc-check docs-check chaos-smoke jobs-smoke
 
 # Run the model-serving daemon in the foreground.
 COHERED_ADDR ?= 127.0.0.1:8080

@@ -149,6 +149,12 @@ func diff(files []benchFile, band float64) (string, bool, error) {
 		report += line
 		regressed = regressed || bad
 	}
+	// A label only the candidate has is a new scenario, not a
+	// comparison: note it so its first record visibly becomes the
+	// baseline the next PR gates against, instead of vanishing silently.
+	for _, label := range newLabels(base.Rec, cur.Rec) {
+		report += fmt.Sprintf("  %s: no baseline yet (new scenario; gates from the next record)\n", label)
+	}
 	if regressed {
 		report += "benchdiff: FAIL — regression beyond noise band\n"
 	} else {
@@ -200,6 +206,22 @@ func sharedLabels(a, b record) []string {
 		}
 	}
 	return shared
+}
+
+// newLabels returns the labels present in cur but absent from base, in
+// cur's order — the scenarios making their first appearance.
+func newLabels(base, cur record) []string {
+	inBase := make(map[string]bool, len(base.Scenarios))
+	for _, s := range base.Scenarios {
+		inBase[s.Label] = true
+	}
+	var out []string
+	for _, s := range cur.Scenarios {
+		if !inBase[s.Label] {
+			out = append(out, s.Label)
+		}
+	}
+	return out
 }
 
 // scenarioByLabel returns the scenario with the given label, or a zero

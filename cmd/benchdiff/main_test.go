@@ -153,6 +153,35 @@ func TestDiffNoBaseline(t *testing.T) {
 	}
 }
 
+// TestDiffNotesNewScenario: a label only the candidate carries is
+// noted as "no baseline yet" rather than silently dropped, and does not
+// gate this run.
+func TestDiffNotesNewScenario(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_PR6.json", rec(scen("hit_ratio_0.95", 2.0, 10000)))
+	write(t, dir, "BENCH_PR7.json", rec(
+		scen("hit_ratio_0.95", 2.1, 9900),
+		scen("jobs_stream", 5.0, 150000)))
+	files, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, regressed, err := diff(files, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("new scenario must not gate its first run:\n%s", report)
+	}
+	if !strings.Contains(report, "jobs_stream: no baseline yet") {
+		t.Errorf("report missing the new-scenario note:\n%s", report)
+	}
+	// A label only the baseline has (retired scenario) gets no note.
+	if strings.Contains(report, "chaos_patient") {
+		t.Errorf("unexpected label in report:\n%s", report)
+	}
+}
+
 // TestLoadRealFormat parses a record shaped like cohereload's actual
 // output (extra fields present) without error.
 func TestLoadRealFormat(t *testing.T) {

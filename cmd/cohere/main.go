@@ -16,13 +16,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"math"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"swcc/internal/core"
 	"swcc/internal/experiments"
@@ -31,13 +35,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the context; the experiment runners and the
+	// refine engine stop claiming grid cells at their next cancellation
+	// point instead of finishing work nobody will read.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cohere:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("no command")
@@ -46,13 +55,15 @@ func run(args []string, out io.Writer) error {
 	case "list":
 		return cmdList(out)
 	case "run", "figure", "table":
-		return cmdRun(args[0], args[1:], out)
+		return cmdRun(ctx, args[0], args[1:], out)
 	case "all":
-		return cmdAll(args[1:], out)
+		return cmdAll(ctx, args[1:], out)
 	case "eval":
 		return cmdEval(args[1:], out)
 	case "sweep":
 		return cmdSweep(args[1:], out)
+	case "refine":
+		return cmdRefine(ctx, args[1:], out)
 	case "advise":
 		return cmdAdvise(args[1:], out)
 	case "compare":
@@ -76,6 +87,9 @@ func usage() {
   cohere eval -scheme NAME         evaluate one scheme on the bus
   cohere sweep -scheme NAME -param NAME -from F -to F
                                    sweep a workload parameter
+  cohere refine -schemes A,B -axis procs|PARAM -from F -to F
+                                   locate best-scheme crossovers by
+                                   adaptive subdivision
   cohere advise [-params FILE]     rank coherence schemes for a workload
   cohere compare -a W1 -b W2       compare schemes across two workloads
                                    (level names or JSON files)`)
@@ -106,7 +120,7 @@ func experimentFlags(fs *flag.FlagSet) (*float64, *string, *int, outputMode) {
 	return scale, preset, procs, mode
 }
 
-func cmdRun(cmd string, args []string, out io.Writer) error {
+func cmdRun(ctx context.Context, cmd string, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	scale, preset, procs, mode := experimentFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -122,7 +136,7 @@ func cmdRun(cmd string, args []string, out io.Writer) error {
 	case "table":
 		id = "table" + id
 	}
-	ds, err := experiments.Run(id, experiments.Options{
+	ds, err := experiments.RunCtx(ctx, id, experiments.Options{
 		TraceScale: *scale, Preset: *preset, MaxProcessors: *procs,
 	})
 	if err != nil {
@@ -131,7 +145,7 @@ func cmdRun(cmd string, args []string, out io.Writer) error {
 	return emit(out, ds, mode)
 }
 
-func cmdAll(args []string, out io.Writer) error {
+func cmdAll(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("all", flag.ContinueOnError)
 	scale, preset, procs, mode := experimentFlags(fs)
 	parallel := fs.Int("parallel", 0, "experiments to run concurrently (0 = all cores)")
@@ -139,7 +153,7 @@ func cmdAll(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	datasets, err := experiments.RunAll(experiments.Options{
+	datasets, err := experiments.RunAllCtx(ctx, experiments.Options{
 		TraceScale: *scale, Preset: *preset, MaxProcessors: *procs,
 	}, *parallel)
 	if err != nil {
@@ -418,6 +432,102 @@ func cmdSweep(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "%s on %d processors, sweeping %s\n\n", s.Name(), *procs, *param)
 	return tab.WriteText(out)
+}
+
+func cmdRefine(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("refine", flag.ContinueOnError)
+	schemesFlag := fs.String("schemes", "swflush,dragon", "comma-separated competing schemes (at least two)")
+	axis := fs.String("axis", sweep.AxisProcs, `axis to refine: "procs" or a workload parameter name`)
+	from := fs.Float64("from", 1, "axis start (inclusive)")
+	to := fs.Float64("to", 64, "axis end (inclusive)")
+	procs := fs.Int("procs", 16, "fixed machine size when the axis is a parameter")
+	level := fs.String("level", "mid", "base parameter level: low, mid, high")
+	coarse := fs.Int("coarse", 9, "initial grid points, both endpoints included")
+	minStep := fs.Float64("min-step", 0, "stop subdividing below this interval width (0 = range/1024)")
+	var sets multiFlag
+	fs.Var(&sets, "set", "override one base parameter, e.g. -set shd=0.1 (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var schemes []core.Scheme
+	for _, nm := range strings.Split(*schemesFlag, ",") {
+		nm = strings.TrimSpace(nm)
+		if nm == "" {
+			continue
+		}
+		s, err := core.SchemeByName(nm)
+		if err != nil {
+			return err
+		}
+		schemes = append(schemes, s)
+	}
+	base, err := paramsForLevel(*level)
+	if err != nil {
+		return err
+	}
+	for _, kv := range sets {
+		name, val, err := parseSet(kv)
+		if err != nil {
+			return err
+		}
+		if base, err = base.With(name, val); err != nil {
+			return err
+		}
+	}
+	res, err := sweep.New(0).Refine(ctx, sweep.RefineSpec{
+		Schemes: schemes,
+		Base:    base,
+		Axis:    *axis,
+		From:    *from,
+		To:      *to,
+		Procs:   *procs,
+		Coarse:  *coarse,
+		MinStep: *minStep,
+	})
+	if err != nil {
+		return err
+	}
+	header := []string{*axis}
+	for _, s := range schemes {
+		header = append(header, s.Name())
+	}
+	tab := &report.Table{Header: append(header, "best")}
+	for _, pt := range res.Points {
+		row := []string{report.FormatFloat(pt.X)}
+		for _, pw := range pt.Power {
+			row = append(row, fmt.Sprintf("%.3f", pw))
+		}
+		tab.AddRow(append(row, schemes[pt.Best].Name())...)
+	}
+	fmt.Fprintf(out, "adaptive crossover refinement: %s over [%s, %s]\n\n",
+		*axis, report.FormatFloat(*from), report.FormatFloat(*to))
+	if err := tab.WriteText(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	if len(res.Boundaries) == 0 {
+		fmt.Fprintf(out, "no crossover: %s wins across the whole range\n", schemes[res.Points[0].Best].Name())
+	}
+	for _, b := range res.Boundaries {
+		fmt.Fprintf(out, "crossover: %s -> %s between %s = %s and %s\n",
+			schemes[b.LoBest].Name(), schemes[b.HiBest].Name(),
+			*axis, report.FormatFloat(b.Lo), report.FormatFloat(b.Hi))
+	}
+	// Put the saving in terms of the dense grid that would locate the same
+	// boundaries: every axis value at the final resolution, every scheme.
+	var dense int
+	if *axis == sweep.AxisProcs {
+		dense = int(*to-*from) + 1
+	} else {
+		step := *minStep
+		if step <= 0 {
+			step = (*to - *from) / 1024
+		}
+		dense = int(math.Ceil((*to-*from)/step)) + 1
+	}
+	fmt.Fprintf(out, "\n%d cell solves in %d waves (equivalent dense grid: %d)\n",
+		res.Solves, res.Waves, dense*len(schemes))
+	return nil
 }
 
 func paramsForLevel(level string) (core.Params, error) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -12,7 +13,7 @@ import (
 func runOK(t *testing.T, args ...string) string {
 	t.Helper()
 	var b bytes.Buffer
-	if err := run(args, &b); err != nil {
+	if err := run(context.Background(), args, &b); err != nil {
 		t.Fatalf("run(%v): %v", args, err)
 	}
 	return b.String()
@@ -21,7 +22,7 @@ func runOK(t *testing.T, args ...string) string {
 func runErr(t *testing.T, args ...string) error {
 	t.Helper()
 	var b bytes.Buffer
-	err := run(args, &b)
+	err := run(context.Background(), args, &b)
 	if err == nil {
 		t.Fatalf("run(%v): expected error, got:\n%s", args, b.String())
 	}

@@ -6,19 +6,25 @@
 //
 //	cohered [-addr :8080] [-timeout 10s] [-max-inflight N] [-max-queue N]
 //	        [-max-body BYTES] [-max-procs N] [-max-stages N]
-//	        [-max-batch N] [-cache-cap N] [-pprof-addr ADDR] [-quiet]
+//	        [-max-batch N] [-max-jobs N] [-job-ttl D] [-cache-cap N]
+//	        [-pprof-addr ADDR] [-quiet]
 //	        [-fault-seed N] [-fault-err-p P] [-fault-latency D] [-fault-latency-p P]
 //
 // Endpoints (see internal/serve; OPERATIONS.md is the full operator
 // reference):
 //
-//	GET  /healthz         liveness + cache snapshot
-//	GET  /metrics         Prometheus text format
-//	POST /v1/bus          bus-model curve or single point
-//	POST /v1/network      multistage-network point
-//	POST /v1/advisor      scheme rankings for a workload
-//	POST /v1/sensitivity  parameter sensitivity table
-//	POST /v1/sweep        batch of bus-model points in one round trip
+//	GET    /healthz              liveness + cache snapshot
+//	GET    /metrics              Prometheus text format
+//	POST   /v1/bus               bus-model curve or single point
+//	POST   /v1/network           multistage-network point
+//	POST   /v1/advisor           scheme rankings for a workload
+//	POST   /v1/sensitivity       parameter sensitivity table
+//	POST   /v1/sweep             batch of bus-model points in one round trip
+//	POST   /v1/jobs/sweep        submit an async sweep job (grid or refine)
+//	GET    /v1/jobs              list resident jobs
+//	GET    /v1/jobs/{id}         one job's status
+//	GET    /v1/jobs/{id}/results stream results as NDJSON (resumable ?after=)
+//	DELETE /v1/jobs/{id}         cancel and remove a job
 //
 // The -fault-* flags arm the deterministic chaos injector
 // (internal/fault): every model solve and every /v1/sweep grid point
@@ -94,6 +100,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(api,
 	maxProcs := fs.Int("max-procs", 4096, "largest servable bus machine")
 	maxStages := fs.Int("max-stages", 20, "largest servable network (2^stages processors)")
 	maxBatch := fs.Int("max-batch", 1024, "largest /v1/sweep batch in points")
+	maxJobs := fs.Int("max-jobs", 16, "resident async sweep jobs; submissions past it get 503")
+	jobTTL := fs.Duration("job-ttl", 10*time.Minute, "evict finished jobs nobody collected after this long")
 	cacheCap := fs.Int("cache-cap", 0, "cap demand/curve cache entries each, CLOCK-evicting past it (0 = unbounded)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	grace := fs.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
@@ -140,9 +148,14 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(api,
 		MaxStages:      *maxStages,
 		MaxBatchPoints: *maxBatch,
 		MaxQueueDepth:  *maxQueue,
-		CacheCap:       *cacheCap,
-		Fault:          inj,
-		Logger:         logger,
+		MaxJobs:        *maxJobs,
+		JobTTL:         *jobTTL,
+		// Jobs outlive their submitting request; deriving them from the
+		// signal context makes SIGTERM cancel background grids too.
+		BaseContext: ctx,
+		CacheCap:    *cacheCap,
+		Fault:       inj,
+		Logger:      logger,
 	})
 	if inj != nil {
 		logger.Warn("chaos injector armed",
@@ -207,6 +220,9 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(api,
 	if err := hs.Shutdown(shCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	// The listener is closed; cancel the remaining async jobs and wait
+	// for their runners so no solve outlives the daemon's accounting.
+	srv.Close()
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"swcc/internal/core"
@@ -26,7 +27,7 @@ func init() {
 // and feed the measured rates back into the model with correspondingly
 // scaled cost tables. Simulation and model must agree on where the
 // trade-off turns.
-func runBlockSize(opt Options) (*Dataset, error) {
+func runBlockSize(ctx context.Context, opt Options) (*Dataset, error) {
 	cfg, err := tracegen.Preset("pops")
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"swcc/internal/core"
@@ -45,8 +46,8 @@ func idealSeries(maxProcs int) plot.Series {
 
 // busLevels builds the Figures 4-6 runner: all four schemes at the given
 // ls/shd level, everything else middle.
-func busLevels(l core.Level) func(Options) (*Dataset, error) {
-	return func(opt Options) (*Dataset, error) {
+func busLevels(l core.Level) func(context.Context, Options) (*Dataset, error) {
+	return func(ctx context.Context, opt Options) (*Dataset, error) {
 		maxProcs := opt.maxProcs(16)
 		p := core.MiddleParams()
 		var err error
@@ -85,7 +86,7 @@ func busLevels(l core.Level) func(Options) (*Dataset, error) {
 	}
 }
 
-func runFig7(opt Options) (*Dataset, error) {
+func runFig7(ctx context.Context, opt Options) (*Dataset, error) {
 	maxProcs := opt.maxProcs(16)
 	ds := &Dataset{
 		ID:     "fig7",
@@ -136,8 +137,8 @@ func runFig7(opt Options) (*Dataset, error) {
 
 // aplSweep builds Figures 8-9: power as a function of apl at a fixed
 // sharing level, for a few machine sizes.
-func aplSweep(id string, shdLevel core.Level) func(Options) (*Dataset, error) {
-	return func(opt Options) (*Dataset, error) {
+func aplSweep(id string, shdLevel core.Level) func(context.Context, Options) (*Dataset, error) {
+	return func(ctx context.Context, opt Options) (*Dataset, error) {
 		base := core.MiddleParams()
 		var err error
 		if base, err = base.WithLevel("shd", shdLevel); err != nil {
@@ -171,7 +172,7 @@ func aplSweep(id string, shdLevel core.Level) func(Options) (*Dataset, error) {
 			}
 		}
 		eng := &sweep.Engine{Cache: busEval}
-		results := eng.EvaluateBus(points, core.BusCosts())
+		results := eng.EvaluateBusCtx(ctx, points, core.BusCosts())
 		if err := sweep.FirstError(results); err != nil {
 			return nil, err
 		}

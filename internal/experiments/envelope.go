@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"swcc/internal/core"
@@ -16,7 +17,7 @@ func init() {
 // paper's Section 5 discussion: software coherence works in favorable
 // regions of the parameters and must be evaluated against the expected
 // workload.
-func runEnvelope(opt Options) (*Dataset, error) {
+func runEnvelope(ctx context.Context, opt Options) (*Dataset, error) {
 	nproc := opt.maxProcs(16)
 	shds := []float64{0.04, 0.08, 0.15, 0.25, 0.35, 0.42}
 	apls := []float64{1, 2, 4, 8, 16, 32, 64}

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -163,8 +164,12 @@ type Spec struct {
 	Paper string
 	// Title is a one-line description.
 	Title string
-	// Run executes the experiment.
-	Run func(Options) (*Dataset, error)
+	// Run executes the experiment. The context carries cooperative
+	// cancellation from the caller (e.g. `cohere all` on SIGINT): runners
+	// built on the sweep engine stop claiming grid cells once it is done,
+	// and return the context's error for the unsolved remainder. Runners
+	// whose work is trivial may ignore it.
+	Run func(context.Context, Options) (*Dataset, error)
 }
 
 var registry = map[string]Spec{}
@@ -232,11 +237,17 @@ func ByID(id string) (Spec, error) {
 
 // Run executes the experiment with the given ID.
 func Run(id string, opt Options) (*Dataset, error) {
+	return RunCtx(context.Background(), id, opt)
+}
+
+// RunCtx executes the experiment with the given ID under ctx's
+// cooperative cancellation.
+func RunCtx(ctx context.Context, id string, opt Options) (*Dataset, error) {
 	s, err := ByID(id)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run(opt)
+	return s.Run(ctx, opt)
 }
 
 // RunAll executes every registered experiment with up to `parallelism`
@@ -244,6 +255,13 @@ func Run(id string, opt Options) (*Dataset, error) {
 // returns the datasets in registry order. The first failure is reported
 // with its experiment ID; other experiments still run to completion.
 func RunAll(opt Options, parallelism int) ([]*Dataset, error) {
+	return RunAllCtx(context.Background(), opt, parallelism)
+}
+
+// RunAllCtx is RunAll under cooperative cancellation: once ctx is done,
+// no further experiment starts (skipped ones fail with ctx's error) and
+// running ones wind down at their engine's next cancellation point.
+func RunAllCtx(ctx context.Context, opt Options, parallelism int) ([]*Dataset, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -261,7 +279,11 @@ func RunAll(opt Options, parallelism int) ([]*Dataset, error) {
 		go func(i int, spec Spec) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i], errs[i] = spec.Run(opt)
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = spec.Run(ctx, opt)
 		}(i, spec)
 	}
 	wg.Wait()

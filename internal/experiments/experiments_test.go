@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -59,7 +60,7 @@ func TestEveryExperimentRunsAndRenders(t *testing.T) {
 	for _, spec := range All() {
 		spec := spec
 		t.Run(spec.ID, func(t *testing.T) {
-			ds, err := spec.Run(fastOpts)
+			ds, err := spec.Run(context.Background(), fastOpts)
 			if err != nil {
 				t.Fatalf("run: %v", err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"swcc/internal/core"
@@ -19,7 +20,7 @@ func init() {
 	register(Spec{ID: "packetsim", Paper: "Extension (Sec. 7)", Title: "Packet-switched model validated against cycle-level simulation", Run: runPacketValidation})
 }
 
-func runPacketValidation(opt Options) (*Dataset, error) {
+func runPacketValidation(ctx context.Context, opt Options) (*Dataset, error) {
 	const stages = 6
 	cycles := int(250_000 * opt.traceScale())
 	if cycles < 20_000 {
@@ -63,7 +64,7 @@ func runPacketValidation(opt Options) (*Dataset, error) {
 	return ds, nil
 }
 
-func runPatelValidation(opt Options) (*Dataset, error) {
+func runPatelValidation(ctx context.Context, opt Options) (*Dataset, error) {
 	const stages = 6 // 64 processors
 	cycles := int(300_000 * opt.traceScale())
 	if cycles < 20_000 {
@@ -107,7 +108,7 @@ func runPatelValidation(opt Options) (*Dataset, error) {
 	return ds, nil
 }
 
-func runHybrid(opt Options) (*Dataset, error) {
+func runHybrid(ctx context.Context, opt Options) (*Dataset, error) {
 	nproc := opt.maxProcs(16)
 	ds := &Dataset{
 		ID:     "hybrid",
@@ -143,7 +144,7 @@ func runHybrid(opt Options) (*Dataset, error) {
 	return ds, nil
 }
 
-func runNetMVA(Options) (*Dataset, error) {
+func runNetMVA(context.Context, Options) (*Dataset, error) {
 	ds := &Dataset{
 		ID:     "netmva",
 		Title:  "Two network contention models (256 processors): retrying circuit switch (Patel) vs queued load-dependent server (MVA)",
@@ -173,7 +174,7 @@ func runNetMVA(Options) (*Dataset, error) {
 	return ds, nil
 }
 
-func runCrossover(opt Options) (*Dataset, error) {
+func runCrossover(ctx context.Context, opt Options) (*Dataset, error) {
 	nproc := opt.maxProcs(16)
 	ds := &Dataset{
 		ID:    "crossover",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"swcc/internal/plot"
@@ -23,7 +24,7 @@ func init() {
 // crossover by simulation — the network-side validation the paper lists
 // as future work ("In the future we hope to ... validate our methodology
 // against simulation" for networks).
-func runFig10Sim(opt Options) (*Dataset, error) {
+func runFig10Sim(ctx context.Context, opt Options) (*Dataset, error) {
 	cfg := tracegen.DefaultConfig()
 	cfg.NCPU = 16
 	cfg.InstrPerCPU = int(20_000 * opt.traceScale())

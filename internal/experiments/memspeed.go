@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"swcc/internal/core"
@@ -22,7 +23,7 @@ func init() {
 // faster network relative to the processor to sustain reasonable
 // performance") for the bus: schemes that touch memory per *reference*
 // (No-Cache) degrade much faster than schemes that touch it per *miss*.
-func runMemSpeed(opt Options) (*Dataset, error) {
+func runMemSpeed(ctx context.Context, opt Options) (*Dataset, error) {
 	nproc := opt.maxProcs(16)
 	ds := &Dataset{
 		ID:     "memspeed",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"swcc/internal/core"
@@ -16,7 +17,7 @@ func init() {
 	register(Spec{ID: "directory", Paper: "Extension (Sec. 6.3)", Title: "Directory scheme vs Software-Flush on a network", Run: runDirectory})
 }
 
-func runFig10(opt Options) (*Dataset, error) {
+func runFig10(ctx context.Context, opt Options) (*Dataset, error) {
 	maxStages := 6 // up to 64 processors
 	maxProcs := opt.maxProcs(64)
 	ds := &Dataset{
@@ -83,7 +84,7 @@ func runFig10(opt Options) (*Dataset, error) {
 	return ds, nil
 }
 
-func runFig11(Options) (*Dataset, error) {
+func runFig11(context.Context, Options) (*Dataset, error) {
 	const stages = 8 // 256 processors
 	ds := &Dataset{
 		ID:     "fig11",
@@ -133,7 +134,7 @@ func runFig11(Options) (*Dataset, error) {
 	return ds, nil
 }
 
-func runPacket(Options) (*Dataset, error) {
+func runPacket(context.Context, Options) (*Dataset, error) {
 	ds := &Dataset{
 		ID:     "packet",
 		Title:  "EXTENSION: packet switching vs circuit switching (256 processors, middle parameters)",
@@ -177,7 +178,7 @@ func runPacket(Options) (*Dataset, error) {
 	return ds, nil
 }
 
-func runDirectory(Options) (*Dataset, error) {
+func runDirectory(context.Context, Options) (*Dataset, error) {
 	ds := &Dataset{
 		ID:     "directory",
 		Title:  "EXTENSION: directory hardware vs software schemes on the 256-processor network",

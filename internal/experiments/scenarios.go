@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"swcc/internal/core"
@@ -25,7 +26,7 @@ func init() {
 // 16-processor bus. It reproduces Section 5.2's qualitative guidance
 // ("in such environments No-Cache is a viable alternative") with the
 // library's own advisor.
-func runScenarios(opt Options) (*Dataset, error) {
+func runScenarios(ctx context.Context, opt Options) (*Dataset, error) {
 	const nproc = 16
 	cache := sim.CacheConfig{Size: 64 * 1024, BlockSize: 16, Assoc: 2}
 	candidates := []core.Scheme{core.Dragon{}, core.SoftwareFlush{}, core.NoCache{}}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"swcc/internal/core"
@@ -8,6 +9,7 @@ import (
 	"swcc/internal/report"
 	"swcc/internal/sensitivity"
 	"swcc/internal/sim"
+	"swcc/internal/sweep"
 	"swcc/internal/tracegen"
 )
 
@@ -20,7 +22,7 @@ func init() {
 	register(Spec{ID: "table9", Paper: "Table 9", Title: "System model for a multistage network", Run: runTable9})
 }
 
-func runTable1(Options) (*Dataset, error) {
+func runTable1(context.Context, Options) (*Dataset, error) {
 	costs := core.BusCosts()
 	tab := &report.Table{Header: []string{"operation", "cpu time", "bus time"}}
 	for _, op := range core.Ops() {
@@ -34,7 +36,7 @@ func runTable1(Options) (*Dataset, error) {
 	}, nil
 }
 
-func runTable2(Options) (*Dataset, error) {
+func runTable2(context.Context, Options) (*Dataset, error) {
 	tab := &report.Table{Header: []string{"parameter", "description"}}
 	for _, f := range core.Fields() {
 		tab.AddRow(f.Name, f.Doc)
@@ -42,7 +44,7 @@ func runTable2(Options) (*Dataset, error) {
 	return &Dataset{ID: "table2", Title: "Workload model parameters", Table: tab}, nil
 }
 
-func runTable36(Options) (*Dataset, error) {
+func runTable36(context.Context, Options) (*Dataset, error) {
 	p := core.MiddleParams()
 	tab := &report.Table{Header: []string{"operation", "Base", "No-Cache", "Software-Flush", "Dragon"}}
 	schemes := []core.Scheme{core.Base{}, core.NoCache{}, core.SoftwareFlush{}, core.Dragon{}}
@@ -86,7 +88,7 @@ func runTable36(Options) (*Dataset, error) {
 	return ds, nil
 }
 
-func runTable7(opt Options) (*Dataset, error) {
+func runTable7(ctx context.Context, opt Options) (*Dataset, error) {
 	tab := &report.Table{Header: []string{"parameter", "low", "mid", "high", "pops", "thor", "pero"}}
 	measured := map[string]core.Params{}
 	for _, preset := range []string{"pops", "thor", "pero"} {
@@ -121,9 +123,11 @@ func runTable7(opt Options) (*Dataset, error) {
 	}, nil
 }
 
-func runTable8(opt Options) (*Dataset, error) {
+func runTable8(ctx context.Context, opt Options) (*Dataset, error) {
 	nproc := opt.maxProcs(16)
-	tab8, err := sensitivity.Analyze(core.PaperSchemes(), nproc)
+	// Route the table through the package-shared cache AND the caller's
+	// ctx: an interrupted `cohere all` abandons the sensitivity grid too.
+	tab8, err := sensitivity.AnalyzeWithCtx(ctx, &sweep.Engine{Cache: busEval}, core.PaperSchemes(), nproc)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +151,7 @@ func runTable8(opt Options) (*Dataset, error) {
 	}, nil
 }
 
-func runTable9(Options) (*Dataset, error) {
+func runTable9(context.Context, Options) (*Dataset, error) {
 	tab := &report.Table{Header: []string{"operation", "cpu time (n=8)", "network time (n=8)", "formula"}}
 	costs := core.NetworkCosts(8)
 	formulas := map[core.Op]string{

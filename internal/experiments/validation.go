@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"swcc/internal/core"
@@ -118,7 +119,7 @@ func seriesTable(series []plot.Series) *report.Table {
 	return tab
 }
 
-func runFig1(opt Options) (*Dataset, error) {
+func runFig1(ctx context.Context, opt Options) (*Dataset, error) {
 	tr, preset, err := validationTrace(opt, "pops")
 	if err != nil {
 		return nil, err
@@ -146,7 +147,7 @@ func runFig1(opt Options) (*Dataset, error) {
 	return ds, nil
 }
 
-func runFig2(opt Options) (*Dataset, error) {
+func runFig2(ctx context.Context, opt Options) (*Dataset, error) {
 	tr, preset, err := validationTrace(opt, "pops")
 	if err != nil {
 		return nil, err
@@ -172,7 +173,7 @@ func runFig2(opt Options) (*Dataset, error) {
 	return ds, nil
 }
 
-func runFig3(opt Options) (*Dataset, error) {
+func runFig3(ctx context.Context, opt Options) (*Dataset, error) {
 	tr, preset, err := validationTrace(opt, "pero8")
 	if err != nil {
 		return nil, err

@@ -1,0 +1,569 @@
+// Package jobs runs asynchronous sweep work under the daemon: a client
+// submits a job, polls its status, and streams its results back in
+// completion-batch order, with the job surviving the submitting
+// connection. The package is transport-agnostic — the serve layer maps
+// HTTP endpoints onto a Registry and encodes rows; here a job is just a
+// runner function feeding an ordered, bounded spool of encoded rows.
+//
+// Memory is bounded end to end. The spool admits at most SpoolRows
+// buffered rows; a producer that gets ahead of the consumer blocks in
+// Push (cooperatively — a cancelled job unblocks) instead of buffering
+// the whole sweep. Delivery is at-least-once with acknowledgement by
+// resumption: Next(after) frees every batch with sequence <= after, so
+// re-reading with the same cursor after a dropped connection replays
+// only the unacknowledged tail, and a cursor older than the freed
+// prefix fails with ErrGone rather than silently skipping rows.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a job's lifecycle phase. Terminal states are StateDone,
+// StateFailed, and StateCancelled.
+type State string
+
+const (
+	// StatePending: submitted, runner not yet started.
+	StatePending State = "pending"
+	// StateRunning: the runner is producing results.
+	StateRunning State = "running"
+	// StateDone: the runner finished cleanly; all results are spooled.
+	StateDone State = "done"
+	// StateFailed: the runner returned an error or panicked.
+	StateFailed State = "failed"
+	// StateCancelled: the job's context was cancelled before the runner
+	// finished.
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Errors the serve layer maps onto HTTP statuses.
+var (
+	// ErrFull rejects a submission when MaxJobs jobs are resident.
+	ErrFull = errors.New("jobs: registry full")
+	// ErrClosed rejects a submission after Close.
+	ErrClosed = errors.New("jobs: registry closed")
+	// ErrGone rejects a results cursor older than the freed prefix: the
+	// rows before it were acknowledged and discarded.
+	ErrGone = errors.New("jobs: results before cursor already discarded")
+	// ErrFuture rejects a results cursor beyond the last spooled batch.
+	ErrFuture = errors.New("jobs: cursor beyond last result batch")
+)
+
+// Runner is a job body. It pushes result batches into j.Spool(),
+// records outcomes with j.AddPoints, and returns when the work is
+// complete; returning ctx's error (or any other) moves the job to
+// StateCancelled / StateFailed.
+type Runner func(ctx context.Context, j *Job) error
+
+// Config tunes a Registry.
+type Config struct {
+	// MaxJobs bounds resident jobs, running or terminal-but-unread
+	// (<= 0 means 16). Submissions beyond it fail with ErrFull.
+	MaxJobs int
+	// SpoolRows bounds each job's buffered-but-unacknowledged rows
+	// (<= 0 means 4096). Producers block once it is reached.
+	SpoolRows int
+	// TTL evicts terminal jobs that nobody deleted, measured from the
+	// moment they finished (<= 0 means 10 minutes).
+	TTL time.Duration
+	// Base is the context every job's context derives from, typically
+	// the daemon's signal context (nil means context.Background()).
+	Base context.Context
+}
+
+func (c Config) maxJobs() int {
+	if c.MaxJobs <= 0 {
+		return 16
+	}
+	return c.MaxJobs
+}
+
+func (c Config) spoolRows() int {
+	if c.SpoolRows <= 0 {
+		return 4096
+	}
+	return c.SpoolRows
+}
+
+func (c Config) ttl() time.Duration {
+	if c.TTL <= 0 {
+		return 10 * time.Minute
+	}
+	return c.TTL
+}
+
+// Registry owns the resident jobs: submission, lookup, cancellation,
+// deletion, and the TTL reaper for terminal jobs nobody deleted.
+type Registry struct {
+	cfg  Config
+	base context.Context
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	nextID uint64
+	closed bool
+
+	// Point totals survive job deletion so the daemon's counters are
+	// monotonic, as Prometheus counters must be.
+	pointsOK  atomic.Uint64
+	pointsErr atomic.Uint64
+
+	wg       sync.WaitGroup // runners + reaper
+	stopReap context.CancelFunc
+}
+
+// NewRegistry builds a registry and starts its reaper.
+func NewRegistry(cfg Config) *Registry {
+	base := cfg.Base
+	if base == nil {
+		base = context.Background()
+	}
+	r := &Registry{cfg: cfg, base: base, jobs: map[string]*Job{}}
+	reapCtx, stop := context.WithCancel(context.Background())
+	r.stopReap = stop
+	r.wg.Add(1)
+	go r.reap(reapCtx)
+	return r
+}
+
+// Submit registers a job and starts its runner on a fresh goroutine.
+func (r *Registry) Submit(label string, run Runner) (*Job, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(r.jobs) >= r.cfg.maxJobs() {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d jobs resident; read or delete one first", ErrFull, len(r.jobs))
+	}
+	r.nextID++
+	ctx, cancel := context.WithCancel(r.base)
+	j := &Job{
+		id:      fmt.Sprintf("j%06d", r.nextID),
+		label:   label,
+		reg:     r,
+		ctx:     ctx,
+		cancel:  cancel,
+		spool:   newSpool(r.cfg.spoolRows(), ctx),
+		state:   StatePending,
+		created: time.Now(),
+	}
+	r.jobs[j.id] = j
+	r.wg.Add(1)
+	r.mu.Unlock()
+
+	go func() {
+		defer r.wg.Done()
+		j.setState(StateRunning, nil)
+		err := runRecovered(run, ctx, j)
+		switch {
+		case err == nil:
+			j.setState(StateDone, nil)
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			j.setState(StateCancelled, err)
+		default:
+			j.setState(StateFailed, err)
+		}
+		j.spool.finish()
+	}()
+	return j, nil
+}
+
+// runRecovered turns a runner panic into an error instead of killing
+// the daemon: job bodies run arbitrary grids and the fault injector can
+// be told to panic on purpose.
+func runRecovered(run Runner, ctx context.Context, j *Job) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("jobs: runner panicked: %v", v)
+		}
+	}()
+	return run(ctx, j)
+}
+
+// Get looks a job up by ID.
+func (r *Registry) Get(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// Delete cancels the job and removes it from the registry. It reports
+// whether the job existed. The runner may still be winding down when
+// Delete returns; Close waits for it.
+func (r *Registry) Delete(id string) bool {
+	r.mu.Lock()
+	j, ok := r.jobs[id]
+	delete(r.jobs, id)
+	r.mu.Unlock()
+	if ok {
+		j.Cancel()
+	}
+	return ok
+}
+
+// Active counts jobs that are not yet terminal.
+func (r *Registry) Active() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, j := range r.jobs {
+		if !j.State().Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// Resident counts all registered jobs, terminal or not.
+func (r *Registry) Resident() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.jobs)
+}
+
+// PointTotals returns the monotonic ok/error result-point counters,
+// summed over all jobs ever run (deletion does not subtract).
+func (r *Registry) PointTotals() (ok, errs uint64) {
+	return r.pointsOK.Load(), r.pointsErr.Load()
+}
+
+// Snapshots returns every resident job's snapshot, ordered by ID.
+func (r *Registry) Snapshots() []Snapshot {
+	r.mu.Lock()
+	js := make([]*Job, 0, len(r.jobs))
+	for _, j := range r.jobs {
+		js = append(js, j)
+	}
+	r.mu.Unlock()
+	out := make([]Snapshot, 0, len(js))
+	for _, j := range js {
+		out = append(out, j.Snapshot())
+	}
+	sortSnapshots(out)
+	return out
+}
+
+func sortSnapshots(s []Snapshot) {
+	for i := 1; i < len(s); i++ {
+		for k := i; k > 0 && s[k].ID < s[k-1].ID; k-- {
+			s[k], s[k-1] = s[k-1], s[k]
+		}
+	}
+}
+
+// Close cancels every job, stops the reaper, and waits for all runners
+// to return. The registry rejects submissions afterwards.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		r.wg.Wait()
+		return
+	}
+	r.closed = true
+	js := make([]*Job, 0, len(r.jobs))
+	for _, j := range r.jobs {
+		js = append(js, j)
+	}
+	r.mu.Unlock()
+	for _, j := range js {
+		j.Cancel()
+	}
+	r.stopReap()
+	r.wg.Wait()
+}
+
+// reap periodically evicts terminal jobs whose results nobody claimed
+// within the TTL, so an abandoned daemon does not accumulate spools.
+func (r *Registry) reap(ctx context.Context) {
+	defer r.wg.Done()
+	ttl := r.cfg.ttl()
+	period := ttl / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	if period > time.Minute {
+		period = time.Minute
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-tick.C:
+			r.mu.Lock()
+			for id, j := range r.jobs {
+				st, _, fin := j.terminalInfo()
+				if st.Terminal() && now.Sub(fin) > ttl {
+					delete(r.jobs, id)
+					j.Cancel()
+				}
+			}
+			r.mu.Unlock()
+		}
+	}
+}
+
+// Job is one submitted sweep.
+type Job struct {
+	id     string
+	label  string
+	reg    *Registry
+	ctx    context.Context
+	cancel context.CancelFunc
+	spool  *Spool
+
+	mu       sync.Mutex
+	state    State
+	err      error
+	created  time.Time
+	finished time.Time
+
+	pointsOK  atomic.Uint64
+	pointsErr atomic.Uint64
+}
+
+// ID returns the job's registry key.
+func (j *Job) ID() string { return j.id }
+
+// Spool returns the job's result spool.
+func (j *Job) Spool() *Spool { return j.spool }
+
+// Context returns the job's context (derived from the registry base;
+// cancelled by Cancel, Delete, or Close).
+func (j *Job) Context() context.Context { return j.ctx }
+
+// Cancel requests cooperative cancellation. Terminal jobs are
+// unaffected beyond releasing their context.
+func (j *Job) Cancel() { j.cancel() }
+
+// State returns the current lifecycle phase.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (j *Job) setState(s State, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = s
+	if s.Terminal() {
+		j.err = err
+		j.finished = time.Now()
+	}
+}
+
+func (j *Job) terminalInfo() (State, error, time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.err, j.finished
+}
+
+// AddPoints records solved result points: ok rows and failed rows. The
+// counts aggregate on the job and, monotonically, on the registry.
+func (j *Job) AddPoints(ok, errs uint64) {
+	j.pointsOK.Add(ok)
+	j.pointsErr.Add(errs)
+	j.reg.pointsOK.Add(ok)
+	j.reg.pointsErr.Add(errs)
+}
+
+// Snapshot is a point-in-time view of a job for status endpoints.
+type Snapshot struct {
+	ID        string
+	Label     string
+	State     State
+	Err       string
+	Created   time.Time
+	Finished  time.Time
+	PointsOK  uint64
+	PointsErr uint64
+	// SpooledRows is the current unacknowledged backlog; HighWater its
+	// lifetime maximum — the number that proves the spool stayed bounded.
+	SpooledRows int
+	HighWater   int
+	// NextSeq is the sequence the next pushed batch would get; AckedSeq
+	// the highest sequence freed by a reader cursor.
+	NextSeq  uint64
+	AckedSeq uint64
+}
+
+// Snapshot captures the job's current state.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	st, err, created, finished := j.state, j.err, j.created, j.finished
+	j.mu.Unlock()
+	s := Snapshot{
+		ID: j.id, Label: j.label, State: st,
+		Created: created, Finished: finished,
+		PointsOK: j.pointsOK.Load(), PointsErr: j.pointsErr.Load(),
+	}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	s.SpooledRows, s.HighWater, s.NextSeq, s.AckedSeq = j.spool.stats()
+	return s
+}
+
+// Batch is one ordered chunk of encoded result rows.
+type Batch struct {
+	// Seq numbers batches from 1 in push order; the results cursor.
+	Seq uint64
+	// Rows are opaque encoded lines (NDJSON in the serve layer).
+	Rows [][]byte
+}
+
+// Spool is the bounded, ordered result buffer between a job's runner
+// and its readers.
+type Spool struct {
+	ctx context.Context // the job's context: unblocks Push and Next
+
+	mu       sync.Mutex
+	capRows  int
+	batches  []Batch
+	rows     int
+	high     int
+	nextSeq  uint64 // sequence for the next push (first batch is 1)
+	ackedSeq uint64 // highest sequence freed by a reader
+	finished bool
+	changed  chan struct{} // closed and replaced on every mutation
+}
+
+func newSpool(capRows int, ctx context.Context) *Spool {
+	return &Spool{ctx: ctx, capRows: capRows, nextSeq: 1, changed: make(chan struct{})}
+}
+
+func (s *Spool) broadcast() {
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+func (s *Spool) stats() (rows, high int, nextSeq, ackedSeq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows, s.high, s.nextSeq, s.ackedSeq
+}
+
+// HighWater returns the most rows ever buffered at once.
+func (s *Spool) HighWater() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.high
+}
+
+// Push appends one batch of rows, blocking while the spool is at
+// capacity (back-pressure). An empty batch is a no-op. A batch larger
+// than the capacity is admitted alone once the spool drains, so one
+// oversized wave cannot deadlock the job. Push fails with the job
+// context's error once the job is cancelled.
+func (s *Spool) Push(rows [][]byte) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	for s.rows > 0 && s.rows+len(rows) > s.capRows {
+		ch := s.changed
+		s.mu.Unlock()
+		select {
+		case <-s.ctx.Done():
+			return s.ctx.Err()
+		case <-ch:
+		}
+		s.mu.Lock()
+	}
+	if s.finished {
+		s.mu.Unlock()
+		return errors.New("jobs: push after finish")
+	}
+	s.batches = append(s.batches, Batch{Seq: s.nextSeq, Rows: rows})
+	s.nextSeq++
+	s.rows += len(rows)
+	if s.rows > s.high {
+		s.high = s.rows
+	}
+	s.broadcast()
+	s.mu.Unlock()
+	return nil
+}
+
+// finish marks the end of the stream: Next returns done once the
+// backlog is drained.
+func (s *Spool) finish() {
+	s.mu.Lock()
+	s.finished = true
+	s.broadcast()
+	s.mu.Unlock()
+}
+
+// Next returns the batches after the cursor, acknowledging — and
+// freeing — everything at or before it. It blocks until at least one
+// batch is available, the stream is finished (done=true with the final
+// batches, possibly none), or ctx/job-context is done. A cursor before
+// the freed prefix fails with ErrGone; one beyond the last pushed batch
+// fails with ErrFuture.
+func (s *Spool) Next(ctx context.Context, after uint64) ([]Batch, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if after < s.ackedSeq {
+		return nil, false, fmt.Errorf("%w: cursor %d, already freed through %d", ErrGone, after, s.ackedSeq)
+	}
+	if after >= s.nextSeq {
+		return nil, false, fmt.Errorf("%w: cursor %d, last batch is %d", ErrFuture, after, s.nextSeq-1)
+	}
+	// Acknowledge: the client proved receipt through `after` by asking
+	// for what follows it.
+	freed := false
+	for len(s.batches) > 0 && s.batches[0].Seq <= after {
+		s.rows -= len(s.batches[0].Rows)
+		s.batches[0].Rows = nil
+		s.batches = s.batches[1:]
+		freed = true
+	}
+	if after > s.ackedSeq {
+		s.ackedSeq = after
+	}
+	if freed {
+		s.broadcast() // wake a Push blocked on capacity
+	}
+	for {
+		if len(s.batches) > 0 {
+			out := make([]Batch, len(s.batches))
+			copy(out, s.batches)
+			return out, s.finished, nil
+		}
+		if s.finished {
+			return nil, true, nil
+		}
+		ch := s.changed
+		s.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			return nil, false, ctx.Err()
+		case <-s.ctx.Done():
+			s.mu.Lock()
+			return nil, false, s.ctx.Err()
+		case <-ch:
+		}
+		s.mu.Lock()
+	}
+}

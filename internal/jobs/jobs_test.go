@@ -1,0 +1,356 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func row(i int) [][]byte {
+	return [][]byte{[]byte(fmt.Sprintf(`{"i":%d}`, i))}
+}
+
+// collect streams a job's results from scratch, acking as it goes, and
+// returns the decoded rows in order.
+func collect(t *testing.T, sp *Spool) []string {
+	t.Helper()
+	var out []string
+	var cursor uint64
+	for {
+		batches, done, err := sp.Next(context.Background(), cursor)
+		if err != nil {
+			t.Fatalf("Next(%d): %v", cursor, err)
+		}
+		for _, b := range batches {
+			for _, r := range b.Rows {
+				out = append(out, string(r))
+			}
+			cursor = b.Seq
+		}
+		if done && len(batches) == 0 {
+			return out
+		}
+		if done {
+			// Drain the final ack so the job frees its backlog.
+			if _, d, err := sp.Next(context.Background(), cursor); err != nil || !d {
+				t.Fatalf("final Next(%d) = done %v, err %v", cursor, d, err)
+			}
+			return out
+		}
+	}
+}
+
+func TestJobStreamsInOrder(t *testing.T) {
+	r := NewRegistry(Config{})
+	defer r.Close()
+	const n = 50
+	j, err := r.Submit("stream", func(ctx context.Context, j *Job) error {
+		sp := j.Spool()
+		for i := 0; i < n; i++ {
+			if err := sp.Push(row(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := collect(t, j.Spool())
+	if len(rows) != n {
+		t.Fatalf("streamed %d rows, want %d", len(rows), n)
+	}
+	for i, r := range rows {
+		if want := fmt.Sprintf(`{"i":%d}`, i); r != want {
+			t.Fatalf("row %d = %s, want %s", i, r, want)
+		}
+	}
+	if st := j.State(); st != StateDone {
+		t.Errorf("state = %s, want done", st)
+	}
+	snap := j.Snapshot()
+	if snap.SpooledRows != 0 {
+		t.Errorf("backlog after full ack = %d rows, want 0", snap.SpooledRows)
+	}
+}
+
+// TestSpoolBackpressure pins the bounded-memory contract: a producer
+// far faster than its consumer never buffers more than the configured
+// cap, and blocks rather than dropping or reordering.
+func TestSpoolBackpressure(t *testing.T) {
+	const cap = 8
+	r := NewRegistry(Config{SpoolRows: cap})
+	defer r.Close()
+	const n = 200
+	j, err := r.Submit("slow-reader", func(ctx context.Context, j *Job) error {
+		sp := j.Spool()
+		for i := 0; i < n; i++ {
+			if err := sp.Push(row(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := collect(t, j.Spool())
+	if len(rows) != n {
+		t.Fatalf("streamed %d rows, want %d", len(rows), n)
+	}
+	if hw := j.Spool().HighWater(); hw > cap {
+		t.Errorf("spool high water = %d rows, cap is %d", hw, cap)
+	}
+}
+
+// TestSpoolResume pins at-least-once delivery: a cursor that was not
+// advanced replays the unacknowledged tail, advancing it frees the
+// prefix, and rewinding past the freed prefix is an explicit ErrGone.
+func TestSpoolResume(t *testing.T) {
+	r := NewRegistry(Config{})
+	defer r.Close()
+	pushed := make(chan struct{})
+	hold := make(chan struct{})
+	j, err := r.Submit("resume", func(ctx context.Context, j *Job) error {
+		sp := j.Spool()
+		for i := 0; i < 3; i++ {
+			if err := sp.Push(row(i)); err != nil {
+				return err
+			}
+		}
+		close(pushed)
+		<-hold
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-pushed
+	sp := j.Spool()
+
+	b1, _, err := sp.Next(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) != 3 {
+		t.Fatalf("got %d batches, want 3", len(b1))
+	}
+	// Same cursor again: the dropped-connection replay.
+	b2, _, err := sp.Next(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("replay from 0: %v", err)
+	}
+	if len(b2) != 3 || string(b2[0].Rows[0]) != string(b1[0].Rows[0]) {
+		t.Fatalf("replay returned %d batches, want the same 3", len(b2))
+	}
+	// Advance past batch 2: batches 1-2 freed, 3 replayable.
+	b3, _, err := sp.Next(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b3) != 1 || b3[0].Seq != 3 {
+		t.Fatalf("after ack 2: %+v, want only batch 3", b3)
+	}
+	// Rewinding into the freed prefix is gone, not a silent skip.
+	if _, _, err := sp.Next(context.Background(), 1); !errors.Is(err, ErrGone) {
+		t.Errorf("rewound cursor: err = %v, want ErrGone", err)
+	}
+	if _, _, err := sp.Next(context.Background(), 99); !errors.Is(err, ErrFuture) {
+		t.Errorf("future cursor: err = %v, want ErrFuture", err)
+	}
+	close(hold)
+}
+
+func TestJobCancelUnblocksProducer(t *testing.T) {
+	r := NewRegistry(Config{SpoolRows: 2})
+	defer r.Close()
+	started := make(chan struct{})
+	j, err := r.Submit("cancel", func(ctx context.Context, j *Job) error {
+		sp := j.Spool()
+		close(started)
+		for i := 0; ; i++ {
+			if err := sp.Push(row(i)); err != nil {
+				return err
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	j.Cancel()
+	deadline := time.After(5 * time.Second)
+	for j.State() != StateCancelled {
+		select {
+		case <-deadline:
+			t.Fatalf("job stuck in %s after cancel; Push is not context-aware", j.State())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// A reader still drains whatever was spooled before the cancel, then
+	// sees the end of the (truncated) stream rather than hanging.
+	batches, done, err := j.Spool().Next(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("Next on cancelled job: %v", err)
+	}
+	if len(batches) == 0 || !done {
+		t.Errorf("cancelled job: %d batches, done=%v; want the pre-cancel backlog and done", len(batches), done)
+	}
+}
+
+func TestJobFailureAndPanic(t *testing.T) {
+	r := NewRegistry(Config{})
+	defer r.Close()
+	boom := errors.New("boom")
+	j1, err := r.Submit("fails", func(context.Context, *Job) error { return boom })
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := r.Submit("panics", func(context.Context, *Job) error { panic("kaboom") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []*Job{j1, j2} {
+		deadline := time.After(5 * time.Second)
+		for !j.State().Terminal() {
+			select {
+			case <-deadline:
+				t.Fatalf("job %s never reached a terminal state", j.ID())
+			case <-time.After(time.Millisecond):
+			}
+		}
+		if j.State() != StateFailed {
+			t.Errorf("job %s state = %s, want failed", j.ID(), j.State())
+		}
+	}
+	if s := j2.Snapshot(); s.Err == "" {
+		t.Error("panicked job has no error in its snapshot")
+	}
+}
+
+func TestRegistryCapAndDelete(t *testing.T) {
+	r := NewRegistry(Config{MaxJobs: 2})
+	defer r.Close()
+	hold := make(chan struct{})
+	defer close(hold)
+	runner := func(ctx context.Context, j *Job) error {
+		select {
+		case <-hold:
+		case <-ctx.Done():
+		}
+		return nil
+	}
+	j1, err := r.Submit("a", runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit("b", runner); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit("c", runner); !errors.Is(err, ErrFull) {
+		t.Fatalf("third submit err = %v, want ErrFull", err)
+	}
+	if !r.Delete(j1.ID()) {
+		t.Fatal("Delete returned false for a resident job")
+	}
+	if r.Delete(j1.ID()) {
+		t.Error("second Delete returned true")
+	}
+	if _, err := r.Submit("c", runner); err != nil {
+		t.Errorf("submit after delete: %v", err)
+	}
+	if _, ok := r.Get(j1.ID()); ok {
+		t.Error("deleted job still resolvable")
+	}
+}
+
+func TestRegistryPointTotalsSurviveDelete(t *testing.T) {
+	r := NewRegistry(Config{})
+	defer r.Close()
+	j, err := r.Submit("points", func(context.Context, *Job) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.AddPoints(10, 3)
+	r.Delete(j.ID())
+	ok, errs := r.PointTotals()
+	if ok != 10 || errs != 3 {
+		t.Errorf("totals after delete = (%d, %d), want (10, 3)", ok, errs)
+	}
+}
+
+func TestTTLReapsTerminalJobs(t *testing.T) {
+	r := NewRegistry(Config{TTL: 20 * time.Millisecond})
+	defer r.Close()
+	j, err := r.Submit("short-lived", func(context.Context, *Job) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		if _, ok := r.Get(j.ID()); !ok {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("terminal job never reaped")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestCloseCancelsAndRejects(t *testing.T) {
+	base, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	r := NewRegistry(Config{Base: base})
+	var running atomic.Int32
+	j, err := r.Submit("forever", func(ctx context.Context, j *Job) error {
+		running.Add(1)
+		<-ctx.Done()
+		running.Add(-1)
+		return ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j.State() != StateRunning {
+		time.Sleep(time.Millisecond)
+	}
+	r.Close()
+	if n := running.Load(); n != 0 {
+		t.Errorf("%d runners still alive after Close", n)
+	}
+	if _, err := r.Submit("late", func(context.Context, *Job) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close: %v, want ErrClosed", err)
+	}
+	if j.State() != StateCancelled {
+		t.Errorf("state after close = %s, want cancelled", j.State())
+	}
+}
+
+// TestBaseContextCancelStopsJobs ties jobs to the daemon lifecycle: a
+// SIGINT on the daemon's signal context cancels every job with it.
+func TestBaseContextCancelStopsJobs(t *testing.T) {
+	base, cancelBase := context.WithCancel(context.Background())
+	r := NewRegistry(Config{Base: base})
+	defer r.Close()
+	j, err := r.Submit("daemon-bound", func(ctx context.Context, j *Job) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelBase()
+	deadline := time.After(5 * time.Second)
+	for j.State() != StateCancelled {
+		select {
+		case <-deadline:
+			t.Fatalf("job state = %s after base cancel, want cancelled", j.State())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package sensitivity
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -84,6 +85,16 @@ func Analyze(schemes []core.Scheme, nproc int) (*Table, error) {
 // (e.g. varying apl for Base solves once, not twice). Results are
 // bit-identical to a sequential uncached run.
 func AnalyzeWith(eng *sweep.Engine, schemes []core.Scheme, nproc int) (*Table, error) {
+	return AnalyzeWithCtx(context.Background(), eng, schemes, nproc)
+}
+
+// AnalyzeWithCtx is AnalyzeWith under cooperative cancellation: the grid
+// evaluation threads ctx into the engine, so a cancelled caller (a
+// timed-out /v1/sensitivity request, an interrupted CLI run) stops
+// solving cells instead of finishing a table nobody will read. The
+// first error — ctx's own, for cells skipped after cancellation — is
+// returned.
+func AnalyzeWithCtx(ctx context.Context, eng *sweep.Engine, schemes []core.Scheme, nproc int) (*Table, error) {
 	if nproc < 1 {
 		return nil, fmt.Errorf("sensitivity: nproc %d < 1", nproc)
 	}
@@ -111,7 +122,7 @@ func AnalyzeWith(eng *sweep.Engine, schemes []core.Scheme, nproc int) (*Table, e
 			}
 		}
 	}
-	results := eng.EvaluateBus(points, costs)
+	results := eng.EvaluateBusCtx(ctx, points, costs)
 	if err := sweep.FirstError(results); err != nil {
 		return nil, err
 	}

@@ -170,18 +170,21 @@ func (s *Server) solveSweepPoint(ctx context.Context, j sweepJob, costs *core.Co
 			return
 		}
 		buf := sweep.AcquirePoints(1)
-		(*buf)[0] = pt
 		*pointBuf = buf
+		(*buf)[0] = pt
 		resp.Points = *buf
 	} else {
+		// Park the buffer in *pointBuf BEFORE the call that can panic: the
+		// recover above only records the error, so a buffer not yet visible
+		// through pointBufs would never reach the batch's release hook and
+		// each fault-injected panic would drain the pool by one buffer.
 		buf := sweep.AcquirePoints(j.procs)
+		*pointBuf = buf
 		pts, err := (*run).BusPointsInto(ctx, j.procs, *buf)
 		if err != nil {
-			sweep.ReleasePoints(buf)
 			*errOut = err
 			return
 		}
-		*pointBuf = buf
 		resp.Points = pts
 	}
 	*out = resp

@@ -15,6 +15,7 @@ import (
 
 	"swcc/internal/core"
 	"swcc/internal/fault"
+	"swcc/internal/jobs"
 	"swcc/internal/obs"
 	"swcc/internal/sensitivity"
 	"swcc/internal/sweep"
@@ -125,6 +126,8 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, errBusy), errors.Is(err, fault.ErrInjected):
 		code = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	case errors.Is(err, jobs.ErrFull), errors.Is(err, jobs.ErrClosed):
+		code = http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled):
 		code = statusClientClosedRequest
 	case errors.Is(err, context.DeadlineExceeded):
@@ -526,7 +529,10 @@ func (s *Server) handleSensitivity(ctx context.Context, body []byte) (any, error
 		}
 	}
 	return s.solve(ctx, func() (any, error) {
-		return sensitivity.AnalyzeWith(&sweep.Engine{Cache: s.ev}, schemes, procs)
+		// Threading the request ctx means an abandoned sensitivity grid
+		// stops solving cells at the engine's next cancellation point
+		// instead of finishing the whole table into a dropped response.
+		return sensitivity.AnalyzeWithCtx(ctx, &sweep.Engine{Cache: s.ev}, schemes, procs)
 	})
 }
 
@@ -550,5 +556,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.write(w, s.ev, s.cfg.Fault)
+	s.met.write(w, s.ev, s.cfg.Fault, s.jobs)
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"swcc/internal/fault"
+	"swcc/internal/jobs"
 	"swcc/internal/obs"
 	"swcc/internal/sweep"
 )
@@ -48,10 +49,27 @@ type Config struct {
 	// daemon fed adversarial parameter mixes. Default 0 (unbounded:
 	// cache growth tracks distinct work).
 	CacheCap int
+	// MaxJobs caps resident async sweep jobs (running or
+	// terminal-but-unread); submissions past it fail 503. Default 16.
+	MaxJobs int
+	// MaxJobPoints caps the grid size one job may request. Default 2^20.
+	MaxJobPoints int
+	// JobSpoolRows bounds each job's buffered-but-unstreamed result rows;
+	// producers block (bounded memory) once a job's reader falls this far
+	// behind. Default 4096.
+	JobSpoolRows int
+	// JobTTL evicts finished jobs whose results nobody collected or
+	// deleted. Default 10m.
+	JobTTL time.Duration
+	// BaseContext is the lifecycle context async jobs derive from —
+	// typically the daemon's signal context, so SIGTERM cancels jobs that
+	// outlive their submitting request. Default context.Background().
+	BaseContext context.Context
 	// Fault, when non-nil, injects deterministic faults (latency,
-	// errors, panics) into every model solve and every /v1/sweep grid
-	// point, per the injector's seeded schedule — the chaos-testing
-	// hook. Default nil: no injection, one nil check per solve.
+	// errors, panics) into every model solve, every /v1/sweep grid
+	// point, and every job grid point, per the injector's seeded
+	// schedule — the chaos-testing hook. Default nil: no injection, one
+	// nil check per solve.
 	Fault *fault.Injector
 	// Logger receives structured access and lifecycle logs. Default
 	// slog.Default().
@@ -80,6 +98,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueueDepth <= 0 {
 		c.MaxQueueDepth = 2 * c.MaxInFlight
 	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 16
+	}
+	if c.MaxJobPoints <= 0 {
+		c.MaxJobPoints = 1 << 20
+	}
+	if c.JobSpoolRows <= 0 {
+		c.JobSpoolRows = 4096
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 10 * time.Minute
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -96,6 +126,12 @@ type Server struct {
 	sem   chan struct{}
 	start time.Time
 
+	// jobs owns the async sweep jobs; jobSem bounds the solver
+	// parallelism all running jobs share, separately from the HTTP
+	// limiter so background grids never starve interactive requests.
+	jobs   *jobs.Registry
+	jobSem chan struct{}
+
 	// beforeSolve, when non-nil, runs inside the solve goroutine before
 	// the model work. Tests use it to hold a request open so the
 	// timeout and busy paths can be exercised deterministically.
@@ -109,15 +145,29 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		ev:    sweep.NewEvaluatorCap(cfg.CacheCap),
-		met:   newMetrics(),
-		log:   cfg.Logger,
-		sem:   make(chan struct{}, cfg.MaxInFlight),
-		start: time.Now(),
+		cfg:    cfg,
+		ev:     sweep.NewEvaluatorCap(cfg.CacheCap),
+		met:    newMetrics(),
+		log:    cfg.Logger,
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+		jobSem: make(chan struct{}, runtime.GOMAXPROCS(0)),
+		start:  time.Now(),
 	}
+	s.jobs = jobs.NewRegistry(jobs.Config{
+		MaxJobs:   cfg.MaxJobs,
+		SpoolRows: cfg.JobSpoolRows,
+		TTL:       cfg.JobTTL,
+		Base:      cfg.BaseContext,
+	})
 	s.ev.SetObserver(evalObserver{met: s.met, log: s.log})
 	return s
+}
+
+// Close cancels every async job and waits for their runners to return.
+// The HTTP handlers stay functional except job submission; call it after
+// the listener has shut down.
+func (s *Server) Close() {
+	s.jobs.Close()
 }
 
 // evalObserver adapts the server's metrics registry and logger to the
@@ -157,6 +207,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/advisor", s.apiHandler(s.handleAdvisor))
 	mux.HandleFunc("POST /v1/sensitivity", s.apiHandler(s.handleSensitivity))
 	mux.HandleFunc("POST /v1/sweep", s.apiHandler(s.handleSweep))
+	mux.HandleFunc("POST /v1/jobs/sweep", s.apiHandler(s.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	return s.instrument(mux)
 }
 
@@ -242,6 +297,16 @@ func (s *Server) solve(ctx context.Context, fn func() (any, error)) (any, error)
 			s.met.cancels.Add(1)
 			s.log.Debug("client gone mid-solve; work stops at its next cancellation point")
 		}
+		// The abandoned solve may still complete into ch; nobody will
+		// encode that response, so its pooled buffers would leak from the
+		// pools' accounting. Drain it and release off the request path.
+		go func() {
+			if r := <-ch; r.v != nil {
+				if br, ok := r.v.(bufferReleaser); ok {
+					br.ReleaseBuffers()
+				}
+			}
+		}()
 		return nil, ctx.Err()
 	}
 }

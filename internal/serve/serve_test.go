@@ -27,6 +27,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	}
 	s := NewServer(cfg)
 	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(s.Close)
 	t.Cleanup(ts.Close)
 	return s, ts
 }

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"swcc/internal/core"
 	"swcc/internal/queueing"
@@ -42,12 +43,30 @@ func classFor(n int) int {
 // the pool are cleared, so pooling never pins a finished request's data.
 type SlicePool[T any] struct {
 	classes [poolClasses]sync.Pool
+
+	// acquires and releases count every Acquire and every non-nil Release
+	// call — including slices too large for any class, which are counted
+	// even though they bypass the sync.Pools. For a pool whose buffers are
+	// strictly request-scoped (busPointPool, serve's response pool) the
+	// difference is the number of buffers currently checked out, so
+	// "acquires == releases at quiescence" is the no-leak invariant the
+	// fault-injection tests assert. It does NOT hold for curveBufPool,
+	// whose published curves are deliberately retained by the shared cache.
+	acquires atomic.Uint64
+	releases atomic.Uint64
+}
+
+// Accounting returns the lifetime Acquire and Release call counts. See
+// the field comment for which pools the balance invariant applies to.
+func (p *SlicePool[T]) Accounting() (acquires, releases uint64) {
+	return p.acquires.Load(), p.releases.Load()
 }
 
 // Acquire returns a *[]T of length n whose capacity is the class size.
 // The contents are zeroed (fresh or recycled alike). Pass the same
 // pointer to Release when the slice is no longer referenced.
 func (p *SlicePool[T]) Acquire(n int) *[]T {
+	p.acquires.Add(1)
 	c := classFor(n)
 	if c < 0 {
 		s := make([]T, n)
@@ -70,6 +89,7 @@ func (p *SlicePool[T]) Release(s *[]T) {
 	if s == nil {
 		return
 	}
+	p.releases.Add(1)
 	c := classFor(cap(*s))
 	if c < 0 || cap(*s) != 1<<(poolMinShift+c) {
 		return
@@ -102,3 +122,10 @@ func AcquireResults(n int) *[]Result { return resultPool.Acquire(n) }
 // ReleaseResults returns a buffer obtained from AcquireResults to the
 // pool.
 func ReleaseResults(s *[]Result) { resultPool.Release(s) }
+
+// PointPoolAccounting exposes the shared bus-point pool's acquire and
+// release counts. The pool's buffers are strictly request-scoped, so at
+// quiescence acquires-releases is the number of leaked buffers — the
+// chaos and fault-injection smokes assert it stays zero even with
+// panics injected per grid point.
+func PointPoolAccounting() (acquires, releases uint64) { return busPointPool.Accounting() }

@@ -62,6 +62,18 @@ func (e *Engine) workers() int {
 // the shared cache per point. Single-point groups take the plain
 // BusPoint path unchanged.
 func (e *Engine) EvaluateBus(points []Point, costs *core.CostTable) []Result {
+	return e.EvaluateBusCtx(context.Background(), points, costs)
+}
+
+// EvaluateBusCtx is EvaluateBus under cooperative cancellation: once ctx
+// is done no further group starts, in-flight groups stop at the
+// evaluator's next cancellation point, and every unsolved cell carries
+// ctx's error in Result.Err. A background ctx makes it exactly
+// EvaluateBus. This is the hook that lets `cohere all -parallel` and the
+// sensitivity sweep abandon work on SIGINT instead of solving a grid
+// nobody will read (EvaluateBus used to hardwire context.Background()
+// here, silently dropping the caller's cancellation).
+func (e *Engine) EvaluateBusCtx(ctx context.Context, points []Point, costs *core.CostTable) []Result {
 	results := make([]Result, len(points))
 	workers := 1
 	var cache *Evaluator
@@ -70,7 +82,7 @@ func (e *Engine) EvaluateBus(points []Point, costs *core.CostTable) []Result {
 		cache = e.Cache
 	}
 	if cache == nil {
-		Each(workers, len(points), func(i int) error {
+		EachCtx(ctx, workers, len(points), func(i int) error {
 			pt := points[i]
 			results[i].Point = pt
 			bus, err := core.EvaluateBus(pt.Scheme, pt.Params, costs, pt.NProc)
@@ -81,13 +93,13 @@ func (e *Engine) EvaluateBus(points []Point, costs *core.CostTable) []Result {
 			results[i].Bus = bus[pt.NProc-1]
 			return nil
 		})
+		markSkipped(ctx, points, results)
 		return results
 	}
 	groups := BatchGroups(len(points), func(i int) (core.Scheme, core.Params, int) {
 		return points[i].Scheme, points[i].Params, points[i].NProc
 	})
-	ctx := context.Background()
-	Each(workers, len(groups), func(g int) error {
+	EachCtx(ctx, workers, len(groups), func(g int) error {
 		for _, i := range groups[g] {
 			results[i].Point = points[i]
 		}
@@ -125,7 +137,26 @@ func (e *Engine) EvaluateBus(points []Point, costs *core.CostTable) []Result {
 		}
 		return nil
 	})
+	markSkipped(ctx, points, results)
 	return results
+}
+
+// markSkipped back-fills the cells whose work unit never started because
+// ctx was cancelled first: EachCtx stops claiming indices once ctx is
+// done, leaving those results zero. Every cell that did run has its
+// Point (and hence a non-nil Scheme) stamped before any solving, so a
+// nil Scheme is exactly "skipped by cancellation".
+func markSkipped(ctx context.Context, points []Point, results []Result) {
+	err := ctx.Err()
+	if err == nil {
+		return
+	}
+	for i := range results {
+		if results[i].Point.Scheme == nil {
+			results[i].Point = points[i]
+			results[i].Err = err
+		}
+	}
 }
 
 // FirstError returns the error of the lowest-index failed result, or nil.
