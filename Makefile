@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-hammer bench bench-short bench-json bench-diff alloc-check check serve smoke chaos-smoke jobs-smoke loadgen docs-check artifacts examples golden cover clean
+.PHONY: all build test vet race race-hammer bench bench-short bench-json bench-diff alloc-check check serve smoke chaos-smoke jobs-smoke gw-smoke loadgen docs-check artifacts examples golden cover clean
 
 all: build vet test
 
@@ -34,16 +34,17 @@ bench-short:
 
 # This PR's serving-latency record: cohereload drives the hit-heavy and
 # miss-heavy mixes against an in-process daemon, then the async-job
-# drill appends its streaming scenarios to the same record (the second
-# invocation merges into an existing -out file rather than clobbering
-# it). Earlier records (BENCH_PR3..6.json) are append-only history —
-# bench-json never rewrites them, so `bench-diff` always compares
-# against the numbers the previous PR actually merged with.
+# drill and the gateway drill append their scenarios to the same record
+# (later invocations merge into an existing -out file rather than
+# clobbering it). Earlier records (BENCH_PR3..7.json) are append-only
+# history — bench-json never rewrites them, so `bench-diff` always
+# compares against the numbers the previous PR actually merged with.
 bench-json:
 	$(GO) run ./cmd/cohereload -c 8 -d 3s -hit-ratios 0.95,0.05 \
-		-out BENCH_PR7.json > /dev/null
-	$(GO) run ./cmd/cohereload -jobs -out BENCH_PR7.json > /dev/null
-	@echo "bench-json: wrote BENCH_PR7.json (latency mixes + jobs drill)"
+		-out BENCH_PR8.json > /dev/null
+	$(GO) run ./cmd/cohereload -jobs -out BENCH_PR8.json > /dev/null
+	$(GO) run ./cmd/cohereload -gw -c 8 -d 2s -out BENCH_PR8.json > /dev/null
+	@echo "bench-json: wrote BENCH_PR8.json (latency mixes + jobs + gateway drills)"
 
 # Cross-PR regression gate: compare the newest benchmark record against
 # the newest earlier record sharing a scenario, and fail if p99 latency
@@ -88,10 +89,21 @@ jobs-smoke:
 	$(GO) run -race ./cmd/cohereload -jobs > /dev/null
 	@echo "jobs-smoke: ok (all rows streamed, cancel verified)"
 
+# Gateway drill: cohereload's gw mode boots two cache-capped in-process
+# backends behind the affinity gateway and exits nonzero unless (1)
+# affinity routing beats a fresh round-robin control by >= 1.5x on
+# aggregate backend cache-hit ratio with p99 no worse, (2) a backend
+# killed mid-load never surfaces as a client 500/502, and (3) a
+# snapshot-restarted backend serves its old working set with zero new
+# solves (see OPERATIONS.md's gateway section).
+gw-smoke:
+	$(GO) run ./cmd/cohereload -gw -c 8 -d 1s > /dev/null
+	@echo "gw-smoke: ok (affinity wins, failover clean, warm restart verified)"
+
 # The pre-merge gate: vet, the race-enabled test run, the repeated
 # concurrency hammers, the allocation pins (non-race), the
-# documentation gate, and the overload + async-job drills.
-check: vet race race-hammer alloc-check docs-check chaos-smoke jobs-smoke
+# documentation gate, and the overload + async-job + gateway drills.
+check: vet race race-hammer alloc-check docs-check chaos-smoke jobs-smoke gw-smoke
 
 # Run the model-serving daemon in the foreground.
 COHERED_ADDR ?= 127.0.0.1:8080

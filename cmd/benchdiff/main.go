@@ -16,9 +16,21 @@
 // between two latency records does not break the comparison chain. For
 // every shared label, p99 latency may not rise and throughput may not
 // fall by more than the band (default 15%, chosen from observed
-// run-to-run jitter of the 3-second cohereload scenarios). Exit status
-// is 1 on regression, 2 on usage/parse errors, and 0 otherwise —
-// including when no comparable baseline exists yet.
+// run-to-run jitter of the 3-second cohereload scenarios). Scenarios
+// whose timed window is shorter than half a second on either side
+// (the single-shot jobs and warm-restart drills) are reported but
+// never gated: their percentiles come from a handful of samples, so
+// one scheduler hiccup would swing them far past any honest band —
+// those drills carry their own pass/fail checks inside cohereload
+// instead. Exit status is 1 on regression, 2 on usage/parse errors,
+// and 0 otherwise — including when no comparable baseline exists yet.
+//
+// One gate is within-record rather than cross-PR: when the candidate
+// carries the gateway drill's paired arms ("gw_affinity" and
+// "gw_roundrobin"), affinity must show at least 1.5x round-robin's
+// aggregate backend cache-hit ratio with p99 no worse than round-robin's
+// plus the band. That is the PR's headline claim about cache-affinity
+// routing, so it gates every record that measures it — baseline or not.
 package main
 
 import (
@@ -46,6 +58,9 @@ type record struct {
 type scenario struct {
 	// Label names the mix (e.g. "hit_ratio_0.95", "chaos_patient").
 	Label string `json:"label"`
+	// DurationSeconds is the scenario's timed window; runs under
+	// minGateSeconds are informational only.
+	DurationSeconds float64 `json:"duration_seconds"`
 	// RequestsPerSecond is the completed-request throughput.
 	RequestsPerSecond float64 `json:"requests_per_second"`
 	// Latency carries the millisecond percentiles; only P99 gates.
@@ -53,7 +68,21 @@ type scenario struct {
 		// P99Ms is the 99th-percentile request latency in milliseconds.
 		P99Ms float64 `json:"p99_ms"`
 	} `json:"latency"`
+	// BackendHitRatio is the gateway drill's aggregate backend
+	// cache-hit ratio; nonzero only on gw_* scenarios.
+	BackendHitRatio float64 `json:"backend_hit_ratio"`
 }
+
+// gwHitRatioGate is the affinity-vs-round-robin multiplier the gateway
+// arms must clear (mirrors cohereload's own drill gate).
+const gwHitRatioGate = 1.5
+
+// minGateSeconds is the shortest timed window whose percentiles are
+// trusted enough to gate: the sub-second single-shot drills
+// (jobs_stream, jobs_cancel, gw_warm_restart) have so few latency
+// samples that their p99 is effectively a max, and a max over ~20
+// samples flips far past the band on an ordinary GC pause.
+const minGateSeconds = 0.5
 
 // benchFile pairs a parsed record with the PR number from its name.
 type benchFile struct {
@@ -130,6 +159,7 @@ func diff(files []benchFile, band float64) (string, bool, error) {
 		return "benchdiff: no cohereload records found; nothing to compare\n", false, nil
 	}
 	cur := files[len(files)-1]
+	gwReport, gwBad := gwGate(cur.Rec, band)
 	var base *benchFile
 	for i := len(files) - 2; i >= 0; i-- {
 		if len(sharedLabels(files[i].Rec, cur.Rec)) > 0 {
@@ -138,11 +168,16 @@ func diff(files []benchFile, band float64) (string, bool, error) {
 		}
 	}
 	if base == nil {
-		return fmt.Sprintf("benchdiff: no earlier record shares a scenario with %s; nothing to compare\n", cur.Path), false, nil
+		report := fmt.Sprintf("benchdiff: no earlier record shares a scenario with %s; nothing to compare\n", cur.Path) + gwReport
+		if gwBad {
+			report += "benchdiff: FAIL — gateway affinity gate\n"
+		}
+		return report, gwBad, nil
 	}
 
 	report := fmt.Sprintf("benchdiff: %s vs baseline %s (band %.0f%%)\n", cur.Path, base.Path, band*100)
-	regressed := false
+	regressed := gwBad
+	report += gwReport
 	for _, label := range sharedLabels(base.Rec, cur.Rec) {
 		b, c := scenarioByLabel(base.Rec, label), scenarioByLabel(cur.Rec, label)
 		line, bad := compareScenario(label, b, c, band)
@@ -163,9 +198,45 @@ func diff(files []benchFile, band float64) (string, bool, error) {
 	return report, regressed, nil
 }
 
+// gwGate enforces the within-record gateway claim on the candidate:
+// when both drill arms are present, affinity's aggregate backend hit
+// ratio must be at least gwHitRatioGate times round-robin's, and its
+// p99 must not exceed round-robin's by more than band. Records without
+// the paired arms (older PRs, plain latency runs) pass untouched.
+func gwGate(cur record, band float64) (string, bool) {
+	aff := scenarioByLabel(cur, "gw_affinity")
+	rr := scenarioByLabel(cur, "gw_roundrobin")
+	if aff.Label == "" || rr.Label == "" {
+		return "", false
+	}
+	if rr.BackendHitRatio <= 0 {
+		return "  gw gate: round-robin arm recorded no backend hit ratio — record malformed REGRESSION\n", true
+	}
+	gain := aff.BackendHitRatio / rr.BackendHitRatio
+	hitBad := gain < gwHitRatioGate
+	p99Bad := aff.Latency.P99Ms > rr.Latency.P99Ms*(1+band)
+	mark := func(bad bool) string {
+		if bad {
+			return " REGRESSION"
+		}
+		return ""
+	}
+	line := fmt.Sprintf("  gw gate: backend hit ratio %.3f vs roundrobin %.3f (%.2fx, need %.1fx)%s, p99 %.3fms vs %.3fms%s\n",
+		aff.BackendHitRatio, rr.BackendHitRatio, gain, gwHitRatioGate, mark(hitBad),
+		aff.Latency.P99Ms, rr.Latency.P99Ms, mark(p99Bad))
+	return line, hitBad || p99Bad
+}
+
 // compareScenario renders one label's p99/throughput deltas and flags
 // a regression when p99 rose or throughput fell by more than band.
+// Scenarios whose timed window is under minGateSeconds on either side
+// are rendered but never flagged (see the package comment).
 func compareScenario(label string, base, cur scenario, band float64) (string, bool) {
+	if base.DurationSeconds < minGateSeconds || cur.DurationSeconds < minGateSeconds {
+		return fmt.Sprintf("  %s: p99 %.3fms -> %.3fms, throughput %.0f -> %.0f req/s (sub-second drill; informational, not gated)\n",
+			label, base.Latency.P99Ms, cur.Latency.P99Ms,
+			base.RequestsPerSecond, cur.RequestsPerSecond), false
+	}
 	p99Delta := frac(cur.Latency.P99Ms, base.Latency.P99Ms)
 	rpsDelta := frac(cur.RequestsPerSecond, base.RequestsPerSecond)
 	p99Bad := p99Delta > band

@@ -22,9 +22,16 @@ func rec(scenarios ...string) string {
 	return `{"tool": "cohereload", "scenarios": [` + strings.Join(scenarios, ",") + `]}`
 }
 
-// scen renders one scenario object.
+// scen renders one scenario object with a gate-eligible 3s window.
 func scen(label string, p99, rps float64) string {
-	return fmt.Sprintf(`{"label": %q, "requests_per_second": %g, "latency": {"p99_ms": %g}}`,
+	return fmt.Sprintf(`{"label": %q, "duration_seconds": 3, "requests_per_second": %g, "latency": {"p99_ms": %g}}`,
+		label, rps, p99)
+}
+
+// shortScen renders a sub-second single-shot drill scenario, which the
+// duration floor must keep informational.
+func shortScen(label string, p99, rps float64) string {
+	return fmt.Sprintf(`{"label": %q, "duration_seconds": 0.1, "requests_per_second": %g, "latency": {"p99_ms": %g}}`,
 		label, rps, p99)
 }
 
@@ -179,6 +186,150 @@ func TestDiffNotesNewScenario(t *testing.T) {
 	// A label only the baseline has (retired scenario) gets no note.
 	if strings.Contains(report, "chaos_patient") {
 		t.Errorf("unexpected label in report:\n%s", report)
+	}
+}
+
+// gwScen renders a gateway-arm scenario with a backend hit ratio.
+func gwScen(label string, p99, rps, ratio float64) string {
+	return fmt.Sprintf(`{"label": %q, "duration_seconds": 2, "requests_per_second": %g, "latency": {"p99_ms": %g}, "backend_hit_ratio": %g}`,
+		label, rps, p99, ratio)
+}
+
+// TestDiffSkipsShortRuns: a sub-second drill's p99 and throughput may
+// swing arbitrarily without gating — its line is informational — while
+// a full-length scenario in the same record still gates.
+func TestDiffSkipsShortRuns(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_PR7.json", rec(
+		scen("hit_ratio_0.95", 2.0, 10000),
+		shortScen("jobs_stream", 13.0, 200000)))
+	write(t, dir, "BENCH_PR8.json", rec(
+		scen("hit_ratio_0.95", 2.1, 9900),
+		shortScen("jobs_stream", 26.0, 40000)))
+	files, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, regressed, err := diff(files, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("2x p99 swing on a 0.1s drill gated the run:\n%s", report)
+	}
+	if !strings.Contains(report, "jobs_stream") || !strings.Contains(report, "not gated") {
+		t.Errorf("report missing the informational short-run line:\n%s", report)
+	}
+
+	// The floor protects against flakes, not against real regressions in
+	// gate-eligible scenarios sharing the record.
+	write(t, dir, "BENCH_PR8.json", rec(
+		scen("hit_ratio_0.95", 4.0, 9900),
+		shortScen("jobs_stream", 26.0, 40000)))
+	files, err = load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, regressed, err = diff(files, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Errorf("full-length regression masked by short-run floor:\n%s", report)
+	}
+}
+
+// TestGwGatePasses: paired gateway arms where affinity clears 1.5x with
+// better p99 do not gate, with or without a baseline record.
+func TestGwGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_PR8.json", rec(
+		gwScen("gw_affinity", 0.8, 9000, 0.97),
+		gwScen("gw_roundrobin", 1.4, 7000, 0.58)))
+	files, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, regressed, err := diff(files, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("healthy gateway record flagged:\n%s", report)
+	}
+	if !strings.Contains(report, "gw gate:") {
+		t.Errorf("report missing the gw gate line:\n%s", report)
+	}
+}
+
+// TestGwGateFailsOnHitRatio: affinity below 1.5x round-robin fails the
+// candidate even when no baseline exists to diff against.
+func TestGwGateFailsOnHitRatio(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_PR8.json", rec(
+		gwScen("gw_affinity", 0.8, 9000, 0.70),
+		gwScen("gw_roundrobin", 1.4, 7000, 0.58)))
+	files, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, regressed, err := diff(files, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Errorf("1.2x hit-ratio gain passed a 1.5x gate:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSION") {
+		t.Errorf("report does not mark the gate failure:\n%s", report)
+	}
+}
+
+// TestGwGateFailsOnP99: affinity p99 beyond round-robin's plus the band
+// fails even with a winning hit ratio.
+func TestGwGateFailsOnP99(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_PR7.json", rec(scen("hit_ratio_0.95", 2.0, 10000)))
+	write(t, dir, "BENCH_PR8.json", rec(
+		scen("hit_ratio_0.95", 2.0, 10000),
+		gwScen("gw_affinity", 2.0, 9000, 0.97),
+		gwScen("gw_roundrobin", 1.4, 7000, 0.58)))
+	files, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, regressed, err := diff(files, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Errorf("affinity p99 43%% over round-robin passed a 15%% band:\n%s", report)
+	}
+	if !strings.Contains(report, "gw gate:") || !strings.Contains(report, "REGRESSION") {
+		t.Errorf("report missing the marked gw gate line:\n%s", report)
+	}
+}
+
+// TestGwGateSkipsUnpairedRecords: a record without both arms (all older
+// PRs) is untouched by the within-record gate.
+func TestGwGateSkipsUnpairedRecords(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_PR8.json", rec(
+		scen("hit_ratio_0.95", 2.0, 10000),
+		gwScen("gw_affinity", 0.8, 9000, 0.97)))
+	files, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, regressed, err := diff(files, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("unpaired record gated:\n%s", report)
+	}
+	if strings.Contains(report, "gw gate:") {
+		t.Errorf("gw gate ran without both arms:\n%s", report)
 	}
 }
 

@@ -7,13 +7,14 @@
 //	cohered [-addr :8080] [-timeout 10s] [-max-inflight N] [-max-queue N]
 //	        [-max-body BYTES] [-max-procs N] [-max-stages N]
 //	        [-max-batch N] [-max-jobs N] [-job-ttl D] [-cache-cap N]
-//	        [-pprof-addr ADDR] [-quiet]
+//	        [-snapshot-path FILE] [-pprof-addr ADDR] [-quiet]
 //	        [-fault-seed N] [-fault-err-p P] [-fault-latency D] [-fault-latency-p P]
 //
 // Endpoints (see internal/serve; OPERATIONS.md is the full operator
 // reference):
 //
 //	GET    /healthz              liveness + cache snapshot
+//	GET    /readyz               readiness + cache warmth (503 while booting, draining, or shedding)
 //	GET    /metrics              Prometheus text format
 //	POST   /v1/bus               bus-model curve or single point
 //	POST   /v1/network           multistage-network point
@@ -60,6 +61,7 @@ import (
 
 	"swcc/internal/fault"
 	"swcc/internal/serve"
+	"swcc/internal/sweep"
 )
 
 func main() {
@@ -103,6 +105,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(api,
 	maxJobs := fs.Int("max-jobs", 16, "resident async sweep jobs; submissions past it get 503")
 	jobTTL := fs.Duration("job-ttl", 10*time.Minute, "evict finished jobs nobody collected after this long")
 	cacheCap := fs.Int("cache-cap", 0, "cap demand/curve cache entries each, CLOCK-evicting past it (0 = unbounded)")
+	snapshotPath := fs.String("snapshot-path", "", "memo-cache snapshot file: restored on boot, written on shutdown after drain (empty = disabled)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	grace := fs.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
 	quiet := fs.Bool("quiet", false, "suppress per-request access logs")
@@ -202,6 +205,28 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(api,
 	}
 
 	go func() { errc <- hs.Serve(ln) }()
+
+	// Warm-start: restore the memo caches from the previous run's
+	// snapshot with the listener already open but /readyz answering 503,
+	// so a gateway drains around the restore window instead of cold-
+	// missing into it. A missing file is a normal cold boot; a stale or
+	// corrupt one is logged and served cold — the restore fails closed,
+	// never with suspect entries.
+	if *snapshotPath != "" {
+		srv.SetNotReady("restoring snapshot")
+		counts, err := srv.Evaluator().LoadSnapshotFile(*snapshotPath)
+		if err != nil {
+			logger.Warn("snapshot not restored; starting cold",
+				"path", *snapshotPath, "err", err)
+		} else if counts != (sweep.SnapshotCounts{}) {
+			logger.Warn("snapshot restored",
+				"path", *snapshotPath,
+				"demand_entries", counts.DemandEntries,
+				"curve_entries", counts.CurveEntries)
+		}
+		srv.SetReady()
+	}
+
 	select {
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
@@ -209,6 +234,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(api,
 		}
 	case <-ctx.Done():
 	}
+	srv.SetNotReady("draining")
 	logger.Warn("cohered shutting down", "grace", grace.String())
 	shCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
@@ -223,6 +249,21 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(api,
 	// The listener is closed; cancel the remaining async jobs and wait
 	// for their runners so no solve outlives the daemon's accounting.
 	srv.Close()
+	// Snapshot after drain: every in-flight solve has published its
+	// entries, so the image is the complete working set. The write is
+	// atomic (temp file + rename) — a crash here leaves the previous
+	// snapshot intact, not a truncated one.
+	if *snapshotPath != "" {
+		counts, err := srv.Evaluator().WriteSnapshotFile(*snapshotPath)
+		if err != nil {
+			logger.Error("writing snapshot", "path", *snapshotPath, "err", err)
+		} else {
+			logger.Warn("snapshot written",
+				"path", *snapshotPath,
+				"demand_entries", counts.DemandEntries,
+				"curve_entries", counts.CurveEntries)
+		}
+	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

@@ -243,8 +243,19 @@ func TestOperationsDocCoversAllFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The gateway (coheregw) documents its own flags table in its own
+	// section, checked by its own twin of this test; scanning it here
+	// would report gateway-only flags as stale.
+	section := string(doc)
+	if i := strings.Index(section, "## Gateway"); i >= 0 {
+		if j := strings.Index(section[i+2:], "\n## "); j >= 0 {
+			section = section[:i] + section[i+2+j+1:]
+		} else {
+			section = section[:i]
+		}
+	}
 	documented := map[string]bool{}
-	for _, m := range regexp.MustCompile("\\| `-([a-z-]+)` \\|").FindAllStringSubmatch(string(doc), -1) {
+	for _, m := range regexp.MustCompile("\\| `-([a-z-]+)` \\|").FindAllStringSubmatch(section, -1) {
 		documented[m[1]] = true
 	}
 

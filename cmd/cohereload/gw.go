@@ -1,0 +1,476 @@
+package main
+
+// The -gw drill: an in-process rehearsal of the cache-affinity tier.
+// It boots real cohered backends (serve.Server over loopback HTTP) and
+// a real gateway (internal/gw), then measures exactly the claim the
+// gateway exists for — that routing by canonical cache key keeps the
+// fleet's memo caches hot where round-robin churns them — and verifies
+// the two failure-path promises: a killed backend never surfaces as a
+// client 500, and a snapshot-restarted backend serves its old working
+// set without re-solving. `make gw-smoke` runs this and fails the build
+// when any of those regress.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"swcc/internal/gw"
+	"swcc/internal/serve"
+	"swcc/internal/sweep"
+)
+
+// Drill geometry. The warm pool deliberately exceeds what one backend's
+// capped cache can hold but not what the two-backend fleet holds in
+// aggregate: under affinity each backend's ~half-share of the pool fits
+// its cap and stays resident, while under round-robin every backend
+// eventually sees every key and its CLOCK churns. The cap sits between
+// half the pool (plus rendezvous skew) and the pool itself — that
+// window is where the policies separate.
+const (
+	gwWarmPool = 512  // distinct workloads in the bench pool
+	gwCacheCap = 310  // per-backend cache cap (demand and curve entries each)
+	gwProcs    = 1024 // machine size per query: misses pay a real MVA ramp
+)
+
+// gwHitRatioGate and gwP99Band are the drill's self-gate: affinity must
+// beat round-robin on aggregate backend hit ratio by at least the gate
+// factor, with client p99 no worse than the band allows.
+const (
+	gwHitRatioGate = 1.5
+	gwP99Band      = 1.05
+)
+
+// gwBackend is one in-process cohered replica under the drill gateway.
+type gwBackend struct {
+	srv *serve.Server
+	hs  *http.Server
+	url string
+}
+
+// startGwBackend boots a serve.Server on an ephemeral loopback port,
+// cache-capped when cacheCap > 0.
+func startGwBackend(cacheCap int) (*gwBackend, error) {
+	srv := serve.NewServer(serve.Config{
+		CacheCap: cacheCap,
+		Logger:   slog.New(slog.NewJSONHandler(io.Discard, nil)),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return &gwBackend{srv: srv, hs: hs, url: "http://" + ln.Addr().String()}, nil
+}
+
+// stop hard-closes the backend: listener, in-flight connections, jobs.
+func (b *gwBackend) stop() {
+	b.hs.Close()
+	b.srv.Close()
+}
+
+// startGwTier boots a gateway over the given backends and returns its
+// base URL plus a stop func. The prober runs fast (failover inside a
+// sub-second drill window) and the first probe round has settled before
+// this returns.
+func startGwTier(policy string, backends []*gwBackend) (string, func(), error) {
+	urls := make([]string, len(backends))
+	for i, b := range backends {
+		urls[i] = b.url
+	}
+	g, err := gw.New(gw.Config{
+		Backends:      urls,
+		Policy:        policy,
+		CheckInterval: 100 * time.Millisecond,
+		CheckTimeout:  time.Second,
+		FailThreshold: 1,
+		Logger:        slog.New(slog.NewJSONHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go g.Run(ctx)
+	g.CheckNow(ctx)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cancel()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: g.Handler()}
+	go hs.Serve(ln)
+	stop := func() {
+		cancel()
+		hs.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// scrapeStats reads one backend's evaluator counters off its /healthz.
+func scrapeStats(client *http.Client, baseURL string) (sweep.Stats, error) {
+	resp, err := client.Get(baseURL + "/healthz")
+	if err != nil {
+		return sweep.Stats{}, err
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Cache sweep.Stats `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return sweep.Stats{}, err
+	}
+	return h.Cache, nil
+}
+
+// fleetHitRatio aggregates the fleet's cache-hit ratio over the window
+// between two stats snapshots: summed hit deltas over summed lookup
+// deltas, each backend's numbers from its own accounting.
+func fleetHitRatio(before, after []sweep.Stats) float64 {
+	var hits, lookups uint64
+	for i := range after {
+		h := (after[i].DemandHits - before[i].DemandHits) + (after[i].MVAHits - before[i].MVAHits)
+		s := (after[i].DemandSolves - before[i].DemandSolves) + (after[i].MVASolves - before[i].MVASolves)
+		hits += h
+		lookups += h + s
+	}
+	if lookups == 0 {
+		return 0
+	}
+	return float64(hits) / float64(lookups)
+}
+
+// gwPointBody is the drill's request: a single point on a gwProcs-sized
+// machine, so a cache miss pays the full incremental-MVA ramp while a
+// hit is a lookup — the cost asymmetry the hit ratio turns into latency.
+func gwPointBody(shd float64) string {
+	return fmt.Sprintf(`{"scheme": "swflush", "params": {"shd": %g}, "procs": %d, "point": true}`, shd, gwProcs)
+}
+
+// gwBenchArm runs one policy's arm of the comparison: fresh capped
+// backends, fresh gateway, the whole pool primed once through the
+// gateway, then a timed all-warm window. Returns the scenario summary
+// (BackendHitRatio populated) for the gate.
+func gwBenchArm(policy, label string, conc int, dur time.Duration, seed int64) (summary, error) {
+	var backends []*gwBackend
+	for i := 0; i < 2; i++ {
+		b, err := startGwBackend(gwCacheCap)
+		if err != nil {
+			return summary{}, err
+		}
+		defer b.stop()
+		backends = append(backends, b)
+	}
+	base, stopGw, err := startGwTier(policy, backends)
+	if err != nil {
+		return summary{}, err
+	}
+	defer stopGw()
+
+	client := newClient(30 * time.Second)
+	for i := 0; i < gwWarmPool; i++ {
+		code, body, err := post(context.Background(), client, base+"/v1/bus", gwPointBody(warmShd(i, gwWarmPool)))
+		if err != nil || code != http.StatusOK {
+			return summary{}, fmt.Errorf("%s: priming pool: status %d err %v body %s", label, code, err, body)
+		}
+	}
+	before := make([]sweep.Stats, len(backends))
+	for i, b := range backends {
+		if before[i], err = scrapeStats(client, b.url); err != nil {
+			return summary{}, fmt.Errorf("%s: scraping %s: %w", label, b.url, err)
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		requests  int
+		errs      int
+	)
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(workerSeed(seed, worker)))
+			for time.Now().Before(deadline) {
+				body := gwPointBody(warmShd(rng.Intn(gwWarmPool), gwWarmPool))
+				start := time.Now()
+				code, _, err := post(context.Background(), client, base+"/v1/bus", body)
+				elapsed := time.Since(start).Seconds()
+				mu.Lock()
+				requests++
+				if err != nil || code != http.StatusOK {
+					errs++
+				} else {
+					latencies = append(latencies, elapsed)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	after := make([]sweep.Stats, len(backends))
+	for i, b := range backends {
+		if after[i], err = scrapeStats(client, b.url); err != nil {
+			return summary{}, fmt.Errorf("%s: scraping %s: %w", label, b.url, err)
+		}
+	}
+	sort.Float64s(latencies)
+	return summary{
+		Label:           label,
+		HitRatio:        1, // the schedule draws only warm-pool keys
+		Concurrency:     conc,
+		Duration:        dur.Seconds(),
+		Requests:        requests,
+		Errors:          errs,
+		RPS:             float64(requests) / dur.Seconds(),
+		Latency:         summarize(latencies),
+		Mix:             map[string]int{"point": requests},
+		BackendHitRatio: fleetHitRatio(before, after),
+	}, nil
+}
+
+// gwFailover drives load through an affinity gateway and hard-kills one
+// backend a third of the way in. The surviving window must stay clean:
+// the gateway retries transport failures onto the survivor, so clients
+// may see retried latency but never a 500 or a gateway-minted 502.
+func gwFailover(conc int, dur time.Duration, seed int64) (summary, error) {
+	var backends []*gwBackend
+	for i := 0; i < 2; i++ {
+		b, err := startGwBackend(0)
+		if err != nil {
+			return summary{}, err
+		}
+		defer b.stop()
+		backends = append(backends, b)
+	}
+	base, stopGw, err := startGwTier(gw.PolicyAffinity, backends)
+	if err != nil {
+		return summary{}, err
+	}
+	defer stopGw()
+
+	client := newClient(10 * time.Second)
+	kill := time.AfterFunc(dur/3, func() { backends[0].stop() })
+	defer kill.Stop()
+
+	var (
+		mu       sync.Mutex
+		status   = map[string]int{}
+		requests int
+		errs     int
+	)
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(workerSeed(seed, worker)))
+			for time.Now().Before(deadline) {
+				body := gwPointBody(warmShd(rng.Intn(64), 64))
+				code, _, err := post(context.Background(), client, base+"/v1/bus", body)
+				mu.Lock()
+				requests++
+				if err != nil {
+					errs++
+				} else {
+					status[fmt.Sprint(code)]++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := summary{
+		Label:        "gw_failover",
+		Concurrency:  conc,
+		Duration:     dur.Seconds(),
+		Requests:     requests,
+		Errors:       errs,
+		RPS:          float64(requests) / dur.Seconds(),
+		Mix:          map[string]int{"point": requests},
+		StatusCounts: status,
+	}
+	if status["500"] > 0 || status["502"] > 0 {
+		return s, fmt.Errorf("gw_failover: clients saw %d 500s and %d 502s after a backend kill — failover must absorb it",
+			status["500"], status["502"])
+	}
+	if status["200"] == 0 {
+		return s, fmt.Errorf("gw_failover: no request ever succeeded")
+	}
+	return s, nil
+}
+
+// gwWarmRestart rehearses the snapshot lifecycle end to end on a real
+// replica: warm it over HTTP, stop it, snapshot, boot a successor from
+// the file, and require the successor to serve the old working set with
+// zero new solves — the cold-start ramp the snapshot exists to skip.
+func gwWarmRestart() (summary, error) {
+	const keys = 16
+	dir, err := os.MkdirTemp("", "cohereload-gw-*")
+	if err != nil {
+		return summary{}, err
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "memo.snap")
+
+	first, err := startGwBackend(0)
+	if err != nil {
+		return summary{}, err
+	}
+	stopped := false
+	defer func() {
+		if !stopped {
+			first.stop()
+		}
+	}()
+	client := newClient(30 * time.Second)
+	for i := 0; i < keys; i++ {
+		code, _, err := post(context.Background(), client, first.url+"/v1/bus", gwPointBody(warmShd(i, keys)))
+		if err != nil || code != http.StatusOK {
+			return summary{}, fmt.Errorf("gw_warm_restart: warming: status %d err %v", code, err)
+		}
+	}
+	first.stop()
+	stopped = true
+	counts, err := first.srv.Evaluator().WriteSnapshotFile(snapPath)
+	if err != nil {
+		return summary{}, fmt.Errorf("gw_warm_restart: writing snapshot: %w", err)
+	}
+	if counts.DemandEntries == 0 || counts.CurveEntries == 0 {
+		return summary{}, fmt.Errorf("gw_warm_restart: snapshot captured nothing: %+v", counts)
+	}
+
+	second, err := startGwBackend(0)
+	if err != nil {
+		return summary{}, err
+	}
+	defer second.stop()
+	restored, err := second.srv.Evaluator().LoadSnapshotFile(snapPath)
+	if err != nil {
+		return summary{}, fmt.Errorf("gw_warm_restart: restoring snapshot: %w", err)
+	}
+	if restored != counts {
+		return summary{}, fmt.Errorf("gw_warm_restart: restored %+v of snapshot %+v", restored, counts)
+	}
+	for i := 0; i < keys; i++ {
+		code, _, err := post(context.Background(), client, second.url+"/v1/bus", gwPointBody(warmShd(i, keys)))
+		if err != nil || code != http.StatusOK {
+			return summary{}, fmt.Errorf("gw_warm_restart: replaying: status %d err %v", code, err)
+		}
+	}
+	st, err := scrapeStats(client, second.url)
+	if err != nil {
+		return summary{}, err
+	}
+	if st.DemandSolves != 0 || st.CurveFullSolves != 0 {
+		return summary{}, fmt.Errorf("gw_warm_restart: successor re-solved (%d demand, %d full MVA) — the snapshot did not skip the ramp",
+			st.DemandSolves, st.CurveFullSolves)
+	}
+	if st.DemandHits == 0 || st.MVAHits == 0 {
+		return summary{}, fmt.Errorf("gw_warm_restart: successor recorded no cache hits: %+v", st)
+	}
+	return summary{
+		Label:    "gw_warm_restart",
+		Requests: keys,
+		Mix: map[string]int{
+			"restored_demand": restored.DemandEntries,
+			"restored_curve":  restored.CurveEntries,
+		},
+	}, nil
+}
+
+// runGw runs the full gateway drill and writes the report. Any phase
+// failing its gate fails the process, so `make gw-smoke` is a build
+// gate, not a report generator.
+func runGw(stdout, stderr io.Writer, conc int, dur time.Duration, seed int64, outPath string) error {
+	rep := report{Tool: "cohereload", Target: "in-process gateway fleet (gw)"}
+
+	affinity, err := gwBenchArm(gw.PolicyAffinity, "gw_affinity", conc, dur, seed)
+	if err != nil {
+		return err
+	}
+	rr, err := gwBenchArm(gw.PolicyRoundRobin, "gw_roundrobin", conc, dur, seed+1)
+	if err != nil {
+		return err
+	}
+	rep.Scenarios = append(rep.Scenarios, affinity, rr)
+	for _, s := range []summary{affinity, rr} {
+		fmt.Fprintf(stderr, "cohereload: %s: %d requests, %d errors, backend hit ratio %.3f, p99 %.3fms\n",
+			s.Label, s.Requests, s.Errors, s.BackendHitRatio, s.Latency.P99)
+	}
+	if affinity.Errors > 0 || rr.Errors > 0 {
+		return fmt.Errorf("gw bench: errors under healthy fleets (affinity %d, roundrobin %d)", affinity.Errors, rr.Errors)
+	}
+	if rr.BackendHitRatio <= 0 {
+		return fmt.Errorf("gw bench: round-robin arm recorded no lookups")
+	}
+	if gain := affinity.BackendHitRatio / rr.BackendHitRatio; gain < gwHitRatioGate {
+		return fmt.Errorf("gw bench: affinity hit ratio %.3f is only %.2fx round-robin's %.3f (gate %.1fx)",
+			affinity.BackendHitRatio, gain, rr.BackendHitRatio, gwHitRatioGate)
+	}
+	if affinity.Latency.P99 > rr.Latency.P99*gwP99Band {
+		// The race detector's instrumentation perturbs latency tails far
+		// past the band, so race builds (`go test -race`) report the
+		// miss instead of failing; normal builds — `make gw-smoke` and
+		// the bench-json record benchdiff gates — enforce it.
+		if !raceEnabled {
+			return fmt.Errorf("gw bench: affinity p99 %.3fms worse than round-robin's %.3fms (band %.2fx)",
+				affinity.Latency.P99, rr.Latency.P99, gwP99Band)
+		}
+		fmt.Fprintf(stderr, "cohereload: gw: affinity p99 %.3fms over round-robin's %.3fms band — informational under the race detector\n",
+			affinity.Latency.P99, rr.Latency.P99)
+	}
+
+	failover, err := gwFailover(conc, dur, seed+2)
+	if len(failover.StatusCounts) > 0 || failover.Requests > 0 {
+		rep.Scenarios = append(rep.Scenarios, failover)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "cohereload: gw_failover: %d requests, status %v, %d transport errors, backend killed mid-load\n",
+		failover.Requests, failover.StatusCounts, failover.Errors)
+
+	restart, err := gwWarmRestart()
+	if err != nil {
+		return err
+	}
+	rep.Scenarios = append(rep.Scenarios, restart)
+	fmt.Fprintf(stderr, "cohereload: gw_warm_restart: %d demand + %d curve entries restored, zero re-solves\n",
+		restart.Mix["restored_demand"], restart.Mix["restored_curve"])
+
+	// Like the jobs drill, -out pointing at an existing cohereload
+	// report merges these scenarios so one BENCH_PR record can carry
+	// the latency mixes and the gateway drill together.
+	rep = mergeInto(outPath, rep)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := stdout.Write(data); err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

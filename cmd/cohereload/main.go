@@ -7,7 +7,7 @@
 //
 //	cohereload [-addr HOST:PORT] [-c 8] [-d 3s] [-hit-ratios 0.95,0.05]
 //	           [-mix point:4,curve:1,sweep:1] [-warm-pool 64] [-procs 16]
-//	           [-seed 1] [-out FILE] [-chaos] [-jobs]
+//	           [-seed 1] [-out FILE] [-chaos] [-jobs] [-gw]
 //
 // With -addr empty (the default) cohereload boots an in-process daemon —
 // the same serve.Server behind cohered — on an ephemeral loopback port
@@ -41,6 +41,24 @@
 // second job and cancels it mid-stream ("jobs_cancel"). The run fails
 // unless the stream delivers every point with a clean done trailer and
 // the cancelled job disappears. `make jobs-smoke` runs exactly this.
+//
+// -gw replaces the normal scenarios with the gateway drill: it boots
+// two in-process cohered backends with deliberately tight cache caps
+// behind an in-process coheregw, then (1) verifies affinity routing is
+// stable and key-canonical via the X-Coheregw-Backend header, (2)
+// benches the affinity policy against a fresh round-robin control arm
+// over an over-capacity warm pool — reporting each arm's aggregate
+// backend cache-hit ratio and failing unless affinity wins by at least
+// 1.5x with p99 no worse, (3) kills a backend mid-load and fails on any
+// client-visible 500 or 502, and (4) snapshot-restarts a backend and
+// fails unless the restored cache serves a previously-warmed key with
+// zero new solves. `make gw-smoke` runs exactly this.
+//
+// Both -chaos and -jobs also accept -addr; pointing them at a coheregw
+// address drives the same drills through the gateway tier. With -addr
+// set, -chaos skips the gates that assume its own tiny self-booted
+// daemon (nonzero sheds, the /metrics scrape) and keeps the
+// client-facing one: no 500s, ever.
 package main
 
 import (
@@ -66,6 +84,25 @@ import (
 	"swcc/internal/fault"
 	"swcc/internal/serve"
 )
+
+// sharedTransport is the one keep-alive connection pool every fleet in
+// the process draws from. Each drill used to construct bare
+// &http.Client{} values per phase, so every phase re-dialed and
+// re-handshook its way up from zero connections — the measured p99 then
+// included connection-establishment spikes the daemon never caused.
+// One pool means steady-state keep-alive reuse across phases, which is
+// also how a real deployment fronts cohered.
+var sharedTransport = &http.Transport{
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 64,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+// newClient returns an http.Client on the shared transport. timeout 0
+// means no client-side deadline (long-lived result streams).
+func newClient(timeout time.Duration) *http.Client {
+	return &http.Client{Transport: sharedTransport, Timeout: timeout}
+}
 
 // loadConfig is one scenario's knobs.
 type loadConfig struct {
@@ -104,6 +141,12 @@ type summary struct {
 	StatusCounts   map[string]int `json:"status_counts,omitempty"`
 	Retries        int            `json:"retries,omitempty"`
 	ClientTimeouts int            `json:"client_timeouts,omitempty"`
+
+	// BackendHitRatio is the gateway drill's aggregate backend
+	// cache-hit ratio over the timed window (hits / lookups summed
+	// across the fleet, from each backend's own Stats deltas) — the
+	// number the affinity-vs-round-robin comparison gates on.
+	BackendHitRatio float64 `json:"backend_hit_ratio,omitempty"`
 }
 
 // chaosStats is the server's own accounting of a chaos run, scraped
@@ -125,6 +168,41 @@ type report struct {
 	Chaos     *chaosStats `json:"chaos,omitempty"`
 }
 
+// mergeInto folds rep's scenarios into a previous cohereload report at
+// outPath, if one exists: a scenario whose label the earlier report
+// already carries replaces it in place, so rerunning one drill updates
+// its rows instead of appending duplicate labels (benchdiff reads the
+// first match per label); unseen labels append in order. With no
+// outPath, no readable earlier file, or a non-cohereload file, rep is
+// returned unchanged.
+func mergeInto(outPath string, rep report) report {
+	if outPath == "" {
+		return rep
+	}
+	prev, err := os.ReadFile(outPath)
+	if err != nil {
+		return rep
+	}
+	var merged report
+	if json.Unmarshal(prev, &merged) != nil || merged.Tool != "cohereload" {
+		return rep
+	}
+	for _, s := range rep.Scenarios {
+		replaced := false
+		for i := range merged.Scenarios {
+			if merged.Scenarios[i].Label == s.Label {
+				merged.Scenarios[i] = s
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			merged.Scenarios = append(merged.Scenarios, s)
+		}
+	}
+	return merged
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "cohereload:", err)
@@ -144,8 +222,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	procs := fs.Int("procs", 16, "machine size per query")
 	seed := fs.Int64("seed", 1, "RNG seed for the request schedule")
 	out := fs.String("out", "", "also write the JSON report to this file")
-	chaos := fs.Bool("chaos", false, "overload drill against a tiny fault-injected in-process daemon (fails on any 500 or zero sheds)")
+	chaos := fs.Bool("chaos", false, "overload drill: fault-injected in-process daemon, or -addr to drive an existing daemon/gateway (fails on any 500)")
 	jobsMode := fs.Bool("jobs", false, "async-job drill: submit, stream, and cancel /v1/jobs sweeps (fails on lost rows or a surviving cancelled job)")
+	gwMode := fs.Bool("gw", false, "gateway drill: affinity-vs-roundrobin bench, mid-load backend kill, and snapshot warm restart (fails unless affinity wins and failover is clean)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -155,17 +234,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *conc < 1 || *warmPool < 1 || *procs < 1 || *dur <= 0 {
 		return fmt.Errorf("-c, -warm-pool, -procs must be >= 1 and -d > 0")
 	}
-	if *chaos && *jobsMode {
-		return fmt.Errorf("-chaos and -jobs are mutually exclusive drills")
+	modes := 0
+	for _, m := range []bool{*chaos, *jobsMode, *gwMode} {
+		if m {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-chaos, -jobs, and -gw are mutually exclusive drills")
 	}
 	if *chaos {
-		if *addr != "" {
-			return fmt.Errorf("-chaos boots its own fault-injected daemon; it cannot target -addr")
-		}
-		return runChaos(stdout, stderr, *conc, *dur, *seed, *procs, *out)
+		return runChaos(stdout, stderr, *addr, *conc, *dur, *seed, *procs, *out)
 	}
 	if *jobsMode {
 		return runJobs(stdout, stderr, *addr, *out)
+	}
+	if *gwMode {
+		if *addr != "" {
+			return fmt.Errorf("-gw boots its own backend fleet and gateway; it cannot target -addr")
+		}
+		return runGw(stdout, stderr, *conc, *dur, *seed, *out)
 	}
 	mix, err := parseMix(*mixSpec)
 	if err != nil {
@@ -304,7 +392,7 @@ func missShd(n uint64) float64 {
 // runLoad primes the warm pool, then drives cfg's mix at cfg.Concurrency
 // for cfg.Duration and summarizes the latencies.
 func runLoad(ctx context.Context, base string, cfg loadConfig) (summary, error) {
-	client := &http.Client{Timeout: 30 * time.Second}
+	client := newClient(30 * time.Second)
 
 	// Prime: every warm-pool key solved once, so in-window "hit"
 	// requests measure the cache path, not a first-touch solve.
@@ -475,7 +563,7 @@ func runJobs(stdout, stderr io.Writer, addr, outPath string) error {
 		fmt.Fprintf(stderr, "cohereload: booted in-process daemon on %s\n", target)
 	}
 	base := "http://" + target
-	client := &http.Client{} // no timeout: the results stream is long-lived
+	client := newClient(0) // no timeout: the results stream is long-lived
 
 	rep := report{Tool: "cohereload", Target: target + " (jobs)"}
 
@@ -528,18 +616,11 @@ func runJobs(stdout, stderr io.Writer, addr, outPath string) error {
 	})
 	fmt.Fprintf(stderr, "cohereload: jobs_cancel: cancelled after %d rows; job gone\n", partial)
 
-	// -out pointing at an existing cohereload report appends the job
-	// scenarios to it instead of clobbering it, so `make bench-json` can
-	// land the latency mixes and the jobs drill in one BENCH_PR record.
-	if outPath != "" {
-		if prev, err := os.ReadFile(outPath); err == nil {
-			var merged report
-			if json.Unmarshal(prev, &merged) == nil && merged.Tool == "cohereload" {
-				merged.Scenarios = append(merged.Scenarios, rep.Scenarios...)
-				rep = merged
-			}
-		}
-	}
+	// -out pointing at an existing cohereload report merges the job
+	// scenarios into it instead of clobbering it, so `make bench-json`
+	// can land the latency mixes and the jobs drill in one BENCH_PR
+	// record.
+	rep = mergeInto(outPath, rep)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -696,15 +777,25 @@ func startChaosDaemon(seed int64) (func(), string, error) {
 // fleet against the chaos daemon, then verdicts the run from the
 // daemon's own metrics. It returns an error — failing the process —
 // if the daemon ever answered 500 or never shed, so `make chaos-smoke`
-// is a real gate, not a report generator.
-func runChaos(stdout, stderr io.Writer, conc int, dur time.Duration, seed int64, procs int, outPath string) error {
-	stopSrv, target, err := startChaosDaemon(seed)
-	if err != nil {
-		return err
+// is a real gate, not a report generator. With addr set it drives an
+// existing daemon or gateway instead of booting its own; the verdicts
+// that assume the tiny self-booted daemon (nonzero sheds, the /metrics
+// scrape) are skipped then, the no-500s one is not.
+func runChaos(stdout, stderr io.Writer, addr string, conc int, dur time.Duration, seed int64, procs int, outPath string) error {
+	target := addr
+	selfBooted := addr == ""
+	if selfBooted {
+		stopSrv, bound, err := startChaosDaemon(seed)
+		if err != nil {
+			return err
+		}
+		defer stopSrv()
+		target = bound
+		fmt.Fprintf(stderr, "cohereload: chaos daemon on %s (2 slots, 2 queue seats, faults armed)\n", target)
+	} else {
+		fmt.Fprintf(stderr, "cohereload: chaos fleets targeting %s\n", target)
 	}
-	defer stopSrv()
 	base := "http://" + target
-	fmt.Fprintf(stderr, "cohereload: chaos daemon on %s (2 slots, 2 queue seats, faults armed)\n", target)
 
 	rep := report{Tool: "cohereload", Target: target + " (chaos)"}
 	// Patient clients wait out the server's full budget and retry 503s
@@ -724,11 +815,18 @@ func runChaos(stdout, stderr io.Writer, conc int, dur time.Duration, seed int64,
 			s.Label, s.Requests, s.StatusCounts, s.Retries, s.ClientTimeouts)
 	}
 
-	stats, err := scrapeChaosStats(base)
-	if err != nil {
-		return err
+	var stats chaosStats
+	if selfBooted {
+		// An external target (a real daemon, or a gateway whose
+		// /metrics page speaks swcc_gw_*) has no scrapeable overload
+		// block; the clients' own status tallies are the verdict then.
+		var err error
+		stats, err = scrapeChaosStats(base)
+		if err != nil {
+			return err
+		}
+		rep.Chaos = &stats
 	}
-	rep.Chaos = &stats
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -752,6 +850,10 @@ func runChaos(stdout, stderr io.Writer, conc int, dur time.Duration, seed int64,
 		return fmt.Errorf("chaos: daemon answered 500 under injected faults (server counted %d, clients saw %d) — overload must stay 503/504/499",
 			stats.ServerError500s, client500s)
 	}
+	if !selfBooted {
+		fmt.Fprintf(stderr, "cohereload: chaos ok against %s: 0 client-visible 500s\n", target)
+		return nil
+	}
 	if stats.Sheds == 0 {
 		return fmt.Errorf("chaos: admission control never shed; the drill did not reach overload (raise -c or -d)")
 	}
@@ -764,7 +866,7 @@ func runChaos(stdout, stderr io.Writer, conc int, dur time.Duration, seed int64,
 // status code. clientTimeout 0 means patient: the client outlasts the
 // server's own budget.
 func chaosScenario(base, label string, conc int, dur time.Duration, seed int64, procs int, clientTimeout time.Duration) summary {
-	client := &http.Client{}
+	client := newClient(0)
 	var (
 		mu        sync.Mutex
 		latencies []float64

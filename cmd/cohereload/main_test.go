@@ -83,7 +83,10 @@ func TestBadFlags(t *testing.T) {
 		{"-mix", "bogus:1"},
 		{"-mix", "point:0,curve:0,sweep:0"},
 		{"-c", "0"},
-		{"-chaos", "-addr", "localhost:8080"},
+		{"-chaos", "-jobs"},
+		{"-chaos", "-gw"},
+		{"-jobs", "-gw"},
+		{"-gw", "-addr", "localhost:8080"},
 		{"positional"},
 	} {
 		if err := run(args, io.Discard, io.Discard); err == nil {
@@ -121,6 +124,87 @@ func TestWorkerSeedDerivation(t *testing.T) {
 			}
 			seen[s] = true
 		}
+	}
+}
+
+// TestMergeIntoReplacesLabels: rerunning a drill against an existing
+// -out report must replace its old scenarios in place, not append
+// duplicate labels for benchdiff to misread, while unseen labels append
+// and non-cohereload files are left out of the merge.
+func TestMergeIntoReplacesLabels(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH.json")
+	prev := report{Tool: "cohereload", Scenarios: []summary{
+		{Label: "hit_ratio_0.95", RPS: 100},
+		{Label: "jobs_stream", RPS: 200},
+	}}
+	data, err := json.Marshal(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got := mergeInto(out, report{Tool: "cohereload", Scenarios: []summary{
+		{Label: "jobs_stream", RPS: 300},
+		{Label: "jobs_cancel", RPS: 400},
+	}})
+	if len(got.Scenarios) != 3 {
+		t.Fatalf("merged %d scenarios, want 3 (replace, not append): %+v", len(got.Scenarios), got.Scenarios)
+	}
+	if got.Scenarios[1].Label != "jobs_stream" || got.Scenarios[1].RPS != 300 {
+		t.Errorf("jobs_stream not replaced in place: %+v", got.Scenarios)
+	}
+	if got.Scenarios[2].Label != "jobs_cancel" || got.Scenarios[2].RPS != 400 {
+		t.Errorf("new label not appended: %+v", got.Scenarios)
+	}
+
+	// A non-cohereload file (e.g. a stale test2json record) is not a
+	// merge target; the fresh report stands alone.
+	if err := os.WriteFile(out, []byte(`{"Time": "t", "Action": "start"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got = mergeInto(out, report{Tool: "cohereload", Scenarios: []summary{{Label: "x"}}})
+	if len(got.Scenarios) != 1 || got.Scenarios[0].Label != "x" {
+		t.Errorf("non-cohereload file merged: %+v", got.Scenarios)
+	}
+}
+
+// TestGwRun is the in-process version of `make gw-smoke`: the gateway
+// drill must pass its own gates (affinity >= 1.5x round-robin's backend
+// hit ratio with p99 no worse, clean failover, zero-solve warm restart)
+// and emit all four gateway scenarios.
+func TestGwRun(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "gw.json")
+	var stdout bytes.Buffer
+	err := run([]string{"-gw", "-c", "4", "-d", "400ms", "-out", outPath}, &stdout, io.Discard)
+	if err != nil {
+		t.Fatalf("gateway drill failed its gate: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not the report JSON: %v\n%s", err, stdout.String())
+	}
+	byLabel := map[string]summary{}
+	for _, s := range rep.Scenarios {
+		byLabel[s.Label] = s
+	}
+	for _, want := range []string{"gw_affinity", "gw_roundrobin", "gw_failover", "gw_warm_restart"} {
+		if _, ok := byLabel[want]; !ok {
+			t.Fatalf("scenario %q missing from report: %+v", want, rep.Scenarios)
+		}
+	}
+	aff, rr := byLabel["gw_affinity"], byLabel["gw_roundrobin"]
+	if aff.BackendHitRatio < gwHitRatioGate*rr.BackendHitRatio {
+		t.Errorf("drill passed but recorded hit ratios violate the gate: affinity %.3f vs roundrobin %.3f",
+			aff.BackendHitRatio, rr.BackendHitRatio)
+	}
+	if fo := byLabel["gw_failover"]; fo.StatusCounts["500"] != 0 || fo.StatusCounts["502"] != 0 {
+		t.Errorf("failover scenario recorded 5xx: %v", fo.StatusCounts)
+	}
+	if wr := byLabel["gw_warm_restart"]; wr.Mix["restored_demand"] == 0 || wr.Mix["restored_curve"] == 0 {
+		t.Errorf("warm restart restored nothing: %v", wr.Mix)
 	}
 }
 

@@ -1,0 +1,7 @@
+//go:build !race
+
+package main
+
+// raceEnabled is false in normal builds: every gateway-drill gate,
+// including the p99 band, is enforced (see race_on.go).
+const raceEnabled = false

@@ -10,10 +10,10 @@
 //	doccheck [package directories...]
 //
 // With no arguments it checks the serving stack's packages
-// (internal/serve, internal/sweep, internal/obs, internal/fault) plus
-// the model and solver kernels (internal/core, internal/queueing),
-// which OPERATIONS.md and DESIGN.md document in prose and which
-// therefore must stay navigable from godoc alone. Test files are
+// (internal/serve, internal/gw, internal/sweep, internal/obs,
+// internal/fault) plus the model and solver kernels (internal/core,
+// internal/queueing), which OPERATIONS.md and DESIGN.md document in
+// prose and which therefore must stay navigable from godoc alone. Test files are
 // skipped. Exit status is nonzero if any identifier is undocumented,
 // with one "file:line: name" diagnostic per finding.
 package main
@@ -33,8 +33,8 @@ func main() {
 	dirs := os.Args[1:]
 	if len(dirs) == 0 {
 		dirs = []string{
-			"internal/serve", "internal/sweep", "internal/obs", "internal/fault",
-			"internal/core", "internal/queueing",
+			"internal/serve", "internal/gw", "internal/sweep", "internal/obs",
+			"internal/fault", "internal/core", "internal/queueing",
 		}
 	}
 	findings, err := check(dirs)

@@ -1,0 +1,424 @@
+// Package gw is the cache-affinity front tier: an HTTP gateway that
+// routes each request to one of N cohered backends by rendezvous-hashing
+// the request's canonical cache key, so every backend's sharded memo
+// cache stays hot for its own key range instead of all replicas
+// re-solving the same (scheme, params) working set. The paper's
+// economics apply to the serving tier itself: performance is dominated
+// by how often a request lands where its answer is already cached, and
+// who services a request determines whether it is a hit.
+//
+// The gateway health-checks each backend's /readyz, excludes backends
+// that fail repeatedly, re-admits them on recovery, and re-spills an
+// excluded backend's keys deterministically to the next-ranked backend
+// (rendezvous hashing moves only the dead backend's keys — the survivors'
+// caches keep their ranges). /v1/sweep batches are partitioned by owner
+// backend and reassembled in caller order. A round-robin policy exists
+// as the control arm for benchmarks.
+package gw
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swcc/internal/serve"
+)
+
+// Policy names accepted by Config.Policy.
+const (
+	// PolicyAffinity routes by rendezvous-hashing the canonical cache
+	// key: equivalent requests always land on the same healthy backend.
+	PolicyAffinity = "affinity"
+	// PolicyRoundRobin rotates across healthy backends ignoring the
+	// key — the control arm that shows what affinity buys.
+	PolicyRoundRobin = "roundrobin"
+)
+
+// Config tunes the gateway. Backends is required; every other field
+// falls back to the default documented on it.
+type Config struct {
+	// Backends lists the cohered base URLs ("http://127.0.0.1:8081" or
+	// bare "127.0.0.1:8081") the gateway routes across. Required.
+	Backends []string
+	// Policy selects the routing policy: PolicyAffinity (default) or
+	// PolicyRoundRobin.
+	Policy string
+	// CheckInterval is the per-backend /readyz probe period. Default 1s.
+	CheckInterval time.Duration
+	// CheckTimeout bounds one /readyz probe. Default 2s.
+	CheckTimeout time.Duration
+	// FailThreshold is how many consecutive probe failures exclude a
+	// backend from routing; one success re-admits it. Default 2.
+	FailThreshold int
+	// RequestTimeout bounds one proxied request, all retries included.
+	// Default 15s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps a request body read at the gateway. Default 1 MiB.
+	MaxBodyBytes int64
+	// Transport overrides the backend HTTP transport (tests). Default:
+	// one shared keep-alive pool sized for the backend fleet.
+	Transport http.RoundTripper
+	// Logger receives structured lifecycle logs. Default slog.Default().
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = PolicyAffinity
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = time.Second
+	}
+	if c.CheckTimeout <= 0 {
+		c.CheckTimeout = 2 * time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 2
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Transport == nil {
+		c.Transport = &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+			DialContext: (&net.Dialer{
+				Timeout:   5 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+		}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// backend is one routed-to cohered process and its health/warmth state.
+type backend struct {
+	url  string // normalized base URL, no trailing slash
+	hash uint64 // rendezvous identity
+
+	healthy atomic.Bool
+	fails   atomic.Int32 // consecutive probe failures
+	warmth  atomic.Pointer[serve.ReadyzCache]
+
+	routes    atomic.Int64    // requests routed here
+	responses [3]atomic.Int64 // responses by class: 2xx/3xx, 4xx, 5xx
+}
+
+// classIdx buckets a status code into the responses array.
+func classIdx(code int) int {
+	switch {
+	case code >= 500:
+		return 2
+	case code >= 400:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Gateway routes requests across the backend fleet. Construct with New;
+// run health checks with Run; serve Handler.
+type Gateway struct {
+	cfg      Config
+	backends []*backend
+	client   *http.Client
+	log      *slog.Logger
+	start    time.Time
+
+	rr           atomic.Uint64 // round-robin cursor
+	retries      atomic.Int64  // attempts beyond the first, after a transport failure
+	respills     atomic.Int64  // requests routed off their owner because it was excluded
+	keyFallbacks atomic.Int64  // bodies keyed by raw bytes because canonical parse failed
+	badGateway   atomic.Int64  // 502s: every candidate backend failed
+}
+
+// New validates cfg and returns a gateway. Backends start healthy (the
+// first probe round corrects that within CheckInterval; Run and CheckNow
+// both begin with an immediate round).
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("gw: at least one backend required")
+	}
+	if cfg.Policy != PolicyAffinity && cfg.Policy != PolicyRoundRobin {
+		return nil, fmt.Errorf("gw: unknown policy %q (want %s or %s)", cfg.Policy, PolicyAffinity, PolicyRoundRobin)
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		client: &http.Client{Transport: cfg.Transport},
+		log:    cfg.Logger,
+		start:  time.Now(),
+	}
+	seen := map[string]bool{}
+	for _, b := range cfg.Backends {
+		u := strings.TrimSuffix(strings.TrimSpace(b), "/")
+		if u == "" {
+			return nil, errors.New("gw: empty backend address")
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("gw: duplicate backend %s", u)
+		}
+		seen[u] = true
+		bk := &backend{url: u, hash: hashString(fnvOffset, u)}
+		bk.healthy.Store(true)
+		g.backends = append(g.backends, bk)
+	}
+	return g, nil
+}
+
+// Run drives the per-backend health-check loops until ctx is done,
+// starting with an immediate probe round so a dead backend is excluded
+// before the first tick. It blocks; callers run it in a goroutine.
+func (g *Gateway) Run(ctx context.Context) {
+	g.CheckNow(ctx)
+	var wg sync.WaitGroup
+	for _, b := range g.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			t := time.NewTicker(g.cfg.CheckInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					g.probe(ctx, b)
+				}
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// CheckNow probes every backend once, synchronously — tests and boot
+// paths use it to settle health state without waiting out a tick.
+func (g *Gateway) CheckNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, b := range g.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			g.probe(ctx, b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// healthySet snapshots the healthy backends. With every backend
+// excluded it falls open to the full set: routing somewhere that might
+// answer beats synthesizing a guaranteed failure at the gateway.
+func (g *Gateway) healthySet() []*backend {
+	healthy := make([]*backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		if b.healthy.Load() {
+			healthy = append(healthy, b)
+		}
+	}
+	if len(healthy) == 0 {
+		return g.backends
+	}
+	return healthy
+}
+
+// rank orders the candidate backends for one request, best first. Under
+// affinity that is rendezvous order — descending splitmix64(key ^
+// backend) over the healthy set, so losing a backend re-spills only its
+// keys and each lands deterministically on its next-ranked survivor.
+// Under round-robin it is a rotation of the healthy set.
+func (g *Gateway) rank(key uint64) []*backend {
+	healthy := g.healthySet()
+	ranked := make([]*backend, len(healthy))
+	copy(ranked, healthy)
+	if g.cfg.Policy == PolicyRoundRobin {
+		off := int(g.rr.Add(1)-1) % len(ranked)
+		rot := make([]*backend, 0, len(ranked))
+		rot = append(rot, ranked[off:]...)
+		rot = append(rot, ranked[:off]...)
+		return rot
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		return splitmix64(key^ranked[i].hash) > splitmix64(key^ranked[j].hash)
+	})
+	return ranked
+}
+
+// owner returns the rendezvous owner of key over ALL backends, healthy
+// or not — the reference point for counting re-spills.
+func (g *Gateway) owner(key uint64) *backend {
+	best := g.backends[0]
+	bestScore := splitmix64(key ^ best.hash)
+	for _, b := range g.backends[1:] {
+		if s := splitmix64(key ^ b.hash); s > bestScore {
+			best, bestScore = b, s
+		}
+	}
+	return best
+}
+
+// Handler returns the gateway's routed handler tree: its own health,
+// readiness, and metrics pages plus the proxied /v1 API.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /readyz", g.handleReadyz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("POST /v1/sweep", g.handleSweep)
+	mux.HandleFunc("POST /v1/jobs/sweep", g.handleJobs)
+	mux.HandleFunc("GET /v1/jobs", g.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", g.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", g.handleJobs)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", g.handleJobs)
+	mux.HandleFunc("POST /v1/", g.handleAPI)
+	return mux
+}
+
+// backendHeader is set on every proxied response, naming the backend
+// that answered — it makes affinity externally observable, which the
+// smoke drill leans on.
+const backendHeader = "X-Coheregw-Backend"
+
+// handleAPI proxies one single-point API request: read the body,
+// derive its routing key, forward along the ranked candidates.
+func (g *Gateway) handleAPI(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		g.writeErr(w, http.StatusBadRequest, fmt.Sprintf("gw: reading body: %v", err))
+		return
+	}
+	g.forward(w, r, body, g.requestKey(r.URL.Path, body), true)
+}
+
+// handleJobs proxies the async-job API. Job IDs live in one backend's
+// registry, so the whole subtree is pinned to a single deterministic
+// backend (the rendezvous owner of a fixed key); submissions are not
+// retried on transport failure — a duplicate job is worse than a
+// surfaced error the client can retry itself.
+func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		g.writeErr(w, http.StatusBadRequest, fmt.Sprintf("gw: reading body: %v", err))
+		return
+	}
+	retriable := r.Method != http.MethodPost
+	g.forward(w, r, body, jobsKey, retriable)
+}
+
+// forward tries the ranked candidates in order until one yields an HTTP
+// response, streaming that response (status, content headers, body,
+// Retry-After) back with the answering backend named in the response
+// header. A transport failure excludes the backend on the spot — the
+// next request re-spills without waiting for the prober — and, when
+// retriable, moves on to the next candidate; the solves behind every
+// /v1 endpoint are pure, so replaying one is safe. Only when every
+// candidate fails does the client see a gateway-minted 502.
+func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, body []byte, key uint64, retriable bool) {
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+	resp, b, err := g.attempt(ctx, g.rank(key), key, r.Method, r.URL.RequestURI(), body, retriable)
+	if err != nil {
+		g.badGateway.Add(1)
+		g.writeErr(w, http.StatusBadGateway, fmt.Sprintf("gw: no backend answered: %v", err))
+		return
+	}
+	g.copyResponse(w, resp, b)
+}
+
+// attempt walks the ranked candidates until one yields an HTTP response
+// and returns it with the backend that answered. A transport failure
+// marks that backend down and, when retriable, moves to the next
+// candidate; attempts beyond the first count as retries. The respill
+// counter ticks when affinity routing could not use the key's true
+// owner.
+func (g *Gateway) attempt(ctx context.Context, ranked []*backend, key uint64, method, uri string, body []byte, retriable bool) (*http.Response, *backend, error) {
+	if g.cfg.Policy == PolicyAffinity && ranked[0] != g.owner(key) {
+		g.respills.Add(1)
+	}
+	var lastErr error
+	for i, b := range ranked {
+		if i > 0 {
+			if !retriable {
+				break
+			}
+			g.retries.Add(1)
+		}
+		resp, err := g.send(ctx, b, method, uri, body)
+		if err != nil {
+			lastErr = err
+			g.markDown(b, err)
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		b.routes.Add(1)
+		b.responses[classIdx(resp.StatusCode)].Add(1)
+		return resp, b, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no candidate backends")
+	}
+	return nil, nil, lastErr
+}
+
+// send issues one proxied attempt against one backend.
+func (g *Gateway) send(ctx context.Context, b *backend, method, uri string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, b.url+uri, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return g.client.Do(req)
+}
+
+// copyResponse relays one backend response to the client.
+func (g *Gateway) copyResponse(w http.ResponseWriter, resp *http.Response, b *backend) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set(backendHeader, b.url)
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		g.log.Debug("copying backend response", "backend", b.url, "err", err)
+	}
+}
+
+// markDown excludes a backend after a transport-level failure without
+// waiting for the prober to notice: requests re-spill immediately, and
+// the next successful probe re-admits it.
+func (g *Gateway) markDown(b *backend, err error) {
+	b.fails.Store(int32(g.cfg.FailThreshold))
+	if b.healthy.CompareAndSwap(true, false) {
+		g.log.Warn("backend excluded after transport failure", "backend", b.url, "err", err)
+	}
+}
+
+// writeErr renders a gateway-minted JSON error.
+func (g *Gateway) writeErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}

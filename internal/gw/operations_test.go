@@ -1,0 +1,67 @@
+package gw
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"os"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// TestOperationsDocCoversGatewayMetrics is the gateway's half of the
+// /metrics drift contract (internal/serve owns the daemon's half):
+// every swcc_gw_* family the gateway emits must be documented
+// (backtick-quoted) in OPERATIONS.md, and every swcc_gw_* name the doc
+// mentions must still be emitted.
+func TestOperationsDocCoversGatewayMetrics(t *testing.T) {
+	doc, err := os.ReadFile("../../OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("reading OPERATIONS.md: %v", err)
+	}
+	documented := map[string]bool{}
+	for _, m := range regexp.MustCompile("`(swcc_gw_[a-z_]+)`").FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no swcc_gw_* series found in OPERATIONS.md — parser or doc broken")
+	}
+
+	g, err := New(Config{
+		Backends: []string{"http://127.0.0.1:1"},
+		Logger:   slog.New(slog.NewJSONHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	g.writeMetrics(&buf)
+	emitted := map[string]bool{}
+	for _, m := range regexp.MustCompile(`(?m)^# TYPE (swcc_gw_[a-z_]+) `).FindAllStringSubmatch(buf.String(), -1) {
+		emitted[m[1]] = true
+	}
+	if len(emitted) == 0 {
+		t.Fatal("no # TYPE lines in gateway scrape — exposition format broken")
+	}
+
+	var missing, stale []string
+	for name := range emitted {
+		if !documented[name] {
+			missing = append(missing, name)
+		}
+	}
+	for name := range documented {
+		if !emitted[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	if len(missing) > 0 {
+		t.Errorf("emitted but not documented in OPERATIONS.md: %v", missing)
+	}
+	if len(stale) > 0 {
+		t.Errorf("documented in OPERATIONS.md but no longer emitted: %v", stale)
+	}
+}

@@ -1,0 +1,186 @@
+package gw
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"sync"
+)
+
+// /v1/sweep fan-out: one client batch carries many grid points, and
+// under affinity each point has its own owner backend. Forwarding the
+// whole batch to any single backend would make every other backend's
+// share of the grid a guaranteed miss there, so the gateway partitions
+// the points by owner, sends the sub-batches concurrently, and
+// reassembles the results in caller order — the client sees exactly the
+// response one backend would have produced, while every point was
+// solved where its curve lives.
+
+// sweepBatch is the tolerant decode of a /v1/sweep body: points stay
+// raw, both because the gateway only needs each point's routing key and
+// because forwarding the original bytes preserves whatever the backend
+// would have said about them.
+type sweepBatch struct {
+	Points []json.RawMessage `json:"points"`
+}
+
+// sweepResult is the slice of a backend's /v1/sweep response the
+// gateway needs for reassembly.
+type sweepResult struct {
+	Results []json.RawMessage `json:"results"`
+}
+
+// subFailure is one failed sub-batch, carried to error remapping.
+type subFailure struct {
+	status  int
+	body    []byte
+	indexes []int // original caller indexes, sub-batch order
+}
+
+func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		g.writeErr(w, http.StatusBadRequest, fmt.Sprintf("gw: reading body: %v", err))
+		return
+	}
+	var batch sweepBatch
+	// Malformed or empty batches forward whole: the backend owns the
+	// error contract. Round-robin forwards whole too — the control
+	// policy measures what routing ignores keys, not a half-affinity
+	// hybrid. A single healthy backend makes partitioning a no-op.
+	if json.Unmarshal(body, &batch) != nil || len(batch.Points) == 0 ||
+		g.cfg.Policy == PolicyRoundRobin || len(g.healthySet()) == 1 {
+		g.forward(w, r, body, rawKey(body), true)
+		return
+	}
+
+	keys := make([]uint64, len(batch.Points))
+	for i, pt := range batch.Points {
+		if k, ok := pointKey(pt); ok {
+			keys[i] = k
+		} else {
+			g.keyFallbacks.Add(1)
+			keys[i] = rawKey(pt)
+		}
+	}
+	// Partition by owner over the current healthy set. Group order
+	// follows first appearance, so reassembly and error precedence are
+	// deterministic for a given batch and fleet state.
+	groupOf := map[*backend]int{}
+	var groups []*subFailure // indexes filled here; status/body after send
+	var groupKeys []uint64
+	for i, key := range keys {
+		b := g.rank(key)[0]
+		gi, ok := groupOf[b]
+		if !ok {
+			gi = len(groups)
+			groupOf[b] = gi
+			groups = append(groups, &subFailure{})
+			groupKeys = append(groupKeys, key)
+		}
+		groups[gi].indexes = append(groups[gi].indexes, i)
+	}
+	if len(groups) == 1 {
+		g.forward(w, r, body, keys[0], true)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+	results := make([]json.RawMessage, len(batch.Points))
+	var wg sync.WaitGroup
+	for gi := range groups {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			grp := groups[gi]
+			sub, err := json.Marshal(sweepBatch{Points: pick(batch.Points, grp.indexes)})
+			if err != nil {
+				grp.status, grp.body = http.StatusInternalServerError, []byte(fmt.Sprintf("{\"error\":%q}", err.Error()))
+				return
+			}
+			// Rank by the group's key: the owner leads, and a transport
+			// failure retries the group on the next-ranked survivor.
+			resp, _, err := g.attempt(ctx, g.rank(groupKeys[gi]), groupKeys[gi], http.MethodPost, r.URL.RequestURI(), sub, true)
+			if err != nil {
+				g.badGateway.Add(1)
+				grp.status, grp.body = http.StatusBadGateway, []byte(fmt.Sprintf("{\"error\":%q}", "gw: no backend answered: "+err.Error()))
+				return
+			}
+			defer resp.Body.Close()
+			rb, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+			if err != nil {
+				grp.status, grp.body = http.StatusBadGateway, []byte(fmt.Sprintf("{\"error\":%q}", "gw: reading backend response: "+err.Error()))
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				grp.status, grp.body = resp.StatusCode, rb
+				return
+			}
+			var sr sweepResult
+			if err := json.Unmarshal(rb, &sr); err != nil || len(sr.Results) != len(grp.indexes) {
+				grp.status, grp.body = http.StatusBadGateway, []byte(fmt.Sprintf("{\"error\":%q}",
+					fmt.Sprintf("gw: backend returned %d results for %d points", len(sr.Results), len(grp.indexes))))
+				return
+			}
+			for j, idx := range grp.indexes {
+				results[idx] = sr.Results[j]
+			}
+		}(gi)
+	}
+	wg.Wait()
+
+	// Failure precedence mirrors a single backend's: the error naming
+	// the lowest original point index wins, its sub-batch-local index
+	// rewritten so the client is told which of ITS points failed.
+	var failed *subFailure
+	for _, grp := range groups {
+		if grp.status != 0 && (failed == nil || grp.indexes[0] < failed.indexes[0]) {
+			failed = grp
+		}
+	}
+	if failed != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(failed.status)
+		w.Write(remapPointErr(failed.body, failed.indexes))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	out := struct {
+		Count   int               `json:"count"`
+		Results []json.RawMessage `json:"results"`
+	}{Count: len(results), Results: results}
+	json.NewEncoder(w).Encode(out)
+}
+
+// pick selects the points at the given indexes, in order.
+func pick(points []json.RawMessage, idx []int) []json.RawMessage {
+	out := make([]json.RawMessage, len(idx))
+	for j, i := range idx {
+		out[j] = points[i]
+	}
+	return out
+}
+
+// pointIndexRE matches the backend's per-point error prefix.
+var pointIndexRE = regexp.MustCompile(`points\[(\d+)\]`)
+
+// remapPointErr rewrites a sub-batch's "points[K]" error indexes back
+// to the caller's original point positions, so a validation error from
+// a partitioned batch names the same point a single backend would have
+// named. Indexes that cannot be mapped pass through untouched.
+func remapPointErr(body []byte, indexes []int) []byte {
+	return pointIndexRE.ReplaceAllFunc(body, func(m []byte) []byte {
+		sub := pointIndexRE.FindSubmatch(m)
+		k, err := strconv.Atoi(string(sub[1]))
+		if err != nil || k < 0 || k >= len(indexes) {
+			return m
+		}
+		return []byte(fmt.Sprintf("points[%d]", indexes[k]))
+	})
+}

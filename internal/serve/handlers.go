@@ -552,6 +552,59 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// --- /readyz ---
+
+// ReadyzCache summarizes cache warmth for readiness consumers: a
+// gateway prefers routing to (and snapshotting from) warm backends,
+// and the warm-restart drill asserts entries survived a restart.
+type ReadyzCache struct {
+	// DemandEntries is the number of cached per-scheme demand results.
+	DemandEntries int `json:"demand_entries"`
+	// CurveEntries is the number of cached MVA curves.
+	CurveEntries int `json:"curve_entries"`
+	// HitRatio is lifetime cache hits over lookups across the demand
+	// and curve caches, 0 on a cold server.
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// ReadyzResponse is the JSON body of GET /readyz — exported so the
+// gateway's health checker decodes the same struct the daemon encodes.
+type ReadyzResponse struct {
+	// Ready mirrors the HTTP status: true on 200, false on 503.
+	Ready bool `json:"ready"`
+	// Reason says why a not-ready server is not ready ("shedding",
+	// "restoring snapshot", "draining", ...); empty when ready.
+	Reason string `json:"reason,omitempty"`
+	// Cache reports the evaluator's warmth.
+	Cache ReadyzCache `json:"cache"`
+}
+
+// handleReadyz implements GET /readyz: 503 while the daemon is
+// explicitly not-ready (booting from a snapshot, draining) or while
+// admission control is shedding (queue past -max-queue), 200 otherwise.
+// Distinct from /healthz, which answers 200 for the whole process
+// lifetime: ready is "send me traffic", healthy is "don't restart me".
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	st := s.ev.Stats()
+	resp := ReadyzResponse{Ready: true, Cache: ReadyzCache{
+		DemandEntries: st.DemandEntries,
+		CurveEntries:  st.CurveEntries,
+	}}
+	if lookups := st.DemandHits + st.MVAHits + st.DemandSolves + st.MVASolves; lookups > 0 {
+		resp.Cache.HitRatio = float64(st.DemandHits+st.MVAHits) / float64(lookups)
+	}
+	if reason := s.notReady.Load(); reason != nil {
+		resp.Ready, resp.Reason = false, *reason
+	} else if s.met.queueDepth.Load() >= int64(s.cfg.MaxQueueDepth) {
+		resp.Ready, resp.Reason = false, "shedding"
+	}
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, resp)
+}
+
 // --- /metrics ---
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -95,7 +95,7 @@ const pathOther = "other"
 
 // knownPaths caps label cardinality: anything unrouted counts as "other".
 var knownPaths = map[string]bool{
-	"/healthz": true, "/metrics": true,
+	"/healthz": true, "/readyz": true, "/metrics": true,
 	"/v1/bus": true, "/v1/network": true,
 	"/v1/advisor": true, "/v1/sensitivity": true,
 	"/v1/sweep": true, "/v1/jobs": true,

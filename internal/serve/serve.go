@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"swcc/internal/fault"
@@ -132,6 +133,12 @@ type Server struct {
 	jobs   *jobs.Registry
 	jobSem chan struct{}
 
+	// notReady holds the reason /readyz should answer 503, or nil when
+	// the server is ready. It gates readiness only — /healthz and the
+	// API endpoints keep serving — so a front tier can drain traffic
+	// away from a booting or wound-down backend without killing it.
+	notReady atomic.Pointer[string]
+
 	// beforeSolve, when non-nil, runs inside the solve goroutine before
 	// the model work. Tests use it to hold a request open so the
 	// timeout and busy paths can be exercised deterministically.
@@ -197,10 +204,21 @@ func (o evalObserver) CacheEvent(ctx context.Context, cache, event string) {
 // counts or for embedding the handler tree next to batch work.
 func (s *Server) Evaluator() *sweep.Evaluator { return s.ev }
 
+// SetNotReady makes /readyz answer 503 with the given reason until
+// SetReady. The daemon calls it around boot-time work (snapshot
+// restore) and drain, so a gateway health-checking /readyz routes
+// around a backend that is up but should not take traffic yet.
+func (s *Server) SetNotReady(reason string) { s.notReady.Store(&reason) }
+
+// SetReady clears a SetNotReady, making /readyz answer 200 again
+// (load shedding permitting).
+func (s *Server) SetReady() { s.notReady.Store(nil) }
+
 // Handler returns the routed, instrumented handler tree.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/bus", s.apiHandler(s.handleBus))
 	mux.HandleFunc("POST /v1/network", s.apiHandler(s.handleNetwork))
