@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-hammer bench bench-short bench-json bench-diff alloc-check check serve smoke chaos-smoke jobs-smoke gw-smoke loadgen docs-check artifacts examples golden cover clean
+.PHONY: all build test vet race race-hammer bench bench-short bench-json bench-diff alloc-check check serve smoke schemes-smoke chaos-smoke jobs-smoke gw-smoke loadgen docs-check artifacts examples golden cover clean
 
 all: build vet test
 
@@ -67,10 +67,20 @@ race-hammer:
 		./internal/sweep ./internal/serve
 
 # Documentation gate: every exported identifier in the serving stack
-# must carry a doc comment (OPERATIONS.md's drift tests run under
-# `test`/`race`, so the whole docs surface is enforced by `check`).
+# must carry a doc comment (OPERATIONS.md's and SCHEMES.md's drift
+# tests run under `test`/`race`, so the whole docs surface is enforced
+# by `check`).
 docs-check:
 	$(GO) run ./cmd/doccheck
+
+# Registry gate: the advisor must rank every registered scheme on the
+# Figure-4 workload (paper middle column, 16-processor bus) without
+# error — `advise -all` exits nonzero if any bus-capable registration
+# is missing from the ranking, so a half-wired protocol (registered
+# but failing to evaluate) cannot slip through.
+schemes-smoke:
+	$(GO) run ./cmd/cohere advise -all -level mid -procs 16 > /dev/null
+	@echo "schemes-smoke: ok (every registered scheme ranked)"
 
 # Overload drill: cohereload's chaos mode drives a tiny fault-injected
 # daemon with patient and abandoning client fleets, and exits nonzero
@@ -102,8 +112,9 @@ gw-smoke:
 
 # The pre-merge gate: vet, the race-enabled test run, the repeated
 # concurrency hammers, the allocation pins (non-race), the
-# documentation gate, and the overload + async-job + gateway drills.
-check: vet race race-hammer alloc-check docs-check chaos-smoke jobs-smoke gw-smoke
+# documentation and scheme-registry gates, and the overload +
+# async-job + gateway drills.
+check: vet race race-hammer alloc-check docs-check schemes-smoke chaos-smoke jobs-smoke gw-smoke
 
 # Run the model-serving daemon in the foreground.
 COHERED_ADDR ?= 127.0.0.1:8080

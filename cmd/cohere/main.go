@@ -20,9 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/signal"
-	"math"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -91,8 +91,11 @@ func usage() {
                                    locate best-scheme crossovers by
                                    adaptive subdivision
   cohere advise [-params FILE]     rank coherence schemes for a workload
+                                   (-all ranks every registered scheme)
   cohere compare -a W1 -b W2       compare schemes across two workloads
-                                   (level names or JSON files)`)
+                                   (level names or JSON files)
+
+registered schemes: `+strings.Join(core.SchemeNames(), ", "))
 }
 
 func cmdList(out io.Writer) error {
@@ -220,6 +223,7 @@ func cmdAdvise(args []string, out io.Writer) error {
 	level := fs.String("level", "mid", "base parameter level when no -params file is given")
 	procs := fs.Int("procs", 16, "bus machine size")
 	stages := fs.Int("stages", 0, "network stages (0 = shared bus)")
+	all := fs.Bool("all", false, "rank every registered scheme, not just the advisor's default candidates")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -239,7 +243,19 @@ func cmdAdvise(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	candidates := []core.Scheme{core.Dragon{}, core.SoftwareFlush{}, core.NoCache{}, core.Hybrid{LockFrac: 0.3}, core.Directory{}}
+	// Default candidates come from the registry's Advise set; -all ranks
+	// every registered scheme (the network model still skips bus-only
+	// ones, which is reported below rather than treated as an error).
+	var candidates []core.Scheme
+	var infos []core.Info
+	if *all {
+		infos = core.RegisteredSchemes()
+		for _, info := range infos {
+			candidates = append(candidates, info.Scheme)
+		}
+	} else {
+		candidates = core.DefaultCandidates()
+	}
 	var ranked []core.Ranking
 	var err error
 	var hw string
@@ -254,6 +270,28 @@ func cmdAdvise(args []string, out io.Writer) error {
 	}
 	if err != nil {
 		return err
+	}
+	if *all {
+		// Every scheme the hardware supports must have produced a
+		// ranking; a silent drop means a scheme's frequency table or
+		// registration metadata is broken.
+		present := map[string]bool{}
+		for _, r := range ranked {
+			present[r.Scheme.Name()] = true
+		}
+		var missing []string
+		for _, info := range infos {
+			if *stages > 0 && info.BusOnly {
+				continue // the network model rejects these by design
+			}
+			if !present[info.Scheme.Name()] {
+				missing = append(missing, info.Scheme.Name())
+			}
+		}
+		if len(missing) > 0 {
+			return fmt.Errorf("advise -all: registered scheme(s) missing from the ranking: %s",
+				strings.Join(missing, ", "))
+		}
 	}
 	fmt.Fprintf(out, "coherence schemes ranked for a %s:\n\n", hw)
 	tab := &report.Table{Header: []string{"rank", "scheme", "power", "efficiency vs Base"}}
@@ -293,7 +331,8 @@ func cmdCompare(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "processing power at %d processors: %q vs %q\n\n", *procs, *aSpec, *bSpec)
 	tab := &report.Table{Header: []string{"scheme", *aSpec, *bSpec, "change"}}
-	for _, s := range append(core.PaperSchemes(), core.Directory{}) {
+	for _, info := range core.RegisteredSchemes() {
+		s := info.Scheme
 		pwA, err := core.BusPower(s, pa, core.BusCosts(), *procs)
 		if err != nil {
 			return err
@@ -329,7 +368,8 @@ func emit(out io.Writer, ds *experiments.Dataset, mode outputMode) error {
 
 func cmdEval(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
-	schemeName := fs.String("scheme", "dragon", "scheme: base, nocache, swflush, dragon, directory")
+	schemeName := fs.String("scheme", "dragon",
+		"scheme: "+strings.Join(core.SchemeNames(), ", ")+" (or any registered alias)")
 	procs := fs.Int("procs", 16, "bus machine sizes to sweep")
 	level := fs.String("level", "mid", "parameter level: low, mid, high")
 	breakdown := fs.Bool("breakdown", false, "itemize the per-operation demand before the machine sweep")

@@ -128,7 +128,7 @@ func TestErrors(t *testing.T) {
 	runErr(t, "run")
 	runErr(t, "run", "fig99")
 	runErr(t, "figure", "99")
-	runErr(t, "eval", "-scheme", "mesi")
+	runErr(t, "eval", "-scheme", "firefly")
 	runErr(t, "eval", "-level", "extreme")
 	runErr(t, "eval", "-set", "bogus")
 	runErr(t, "eval", "-set", "apl=abc")

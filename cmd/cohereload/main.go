@@ -81,6 +81,7 @@ import (
 	"sync"
 	"time"
 
+	"swcc/internal/core"
 	"swcc/internal/fault"
 	"swcc/internal/serve"
 )
@@ -219,6 +220,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ratios := fs.String("hit-ratios", "0.95,0.05", "comma-separated cache-hit ratios, one scenario each")
 	mixSpec := fs.String("mix", "point:4,curve:1,sweep:1", "request mix as kind:weight pairs (kinds: point, curve, sweep)")
 	warmPool := fs.Int("warm-pool", 64, "distinct workloads in the warm (cache-hit) pool")
+	scheme := fs.String("scheme", "swflush", "coherence scheme the generated load names (any registered name or alias)")
 	procs := fs.Int("procs", 16, "machine size per query")
 	seed := fs.Int64("seed", 1, "RNG seed for the request schedule")
 	out := fs.String("out", "", "also write the JSON report to this file")
@@ -234,6 +236,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *conc < 1 || *warmPool < 1 || *procs < 1 || *dur <= 0 {
 		return fmt.Errorf("-c, -warm-pool, -procs must be >= 1 and -d > 0")
 	}
+	// Fail fast on a typo'd scheme instead of drilling 100% errors.
+	if _, err := core.SchemeByName(*scheme); err != nil {
+		return err
+	}
+	loadScheme = *scheme
 	modes := 0
 	for _, m := range []bool{*chaos, *jobsMode, *gwMode} {
 		if m {
@@ -488,12 +495,18 @@ func runLoad(ctx context.Context, base string, cfg loadConfig) (summary, error) 
 	return s, nil
 }
 
+// loadScheme is the scheme every generated /v1/bus and /v1/sweep body
+// names, set by the -scheme flag (default swflush, the historical load
+// shape). Any registered scheme name or alias works; the daemon under
+// test resolves it through the same registry.
+var loadScheme = "swflush"
+
 func pointBody(shd float64, procs int) string {
-	return fmt.Sprintf(`{"scheme": "swflush", "params": {"shd": %g}, "procs": %d, "point": true}`, shd, procs)
+	return fmt.Sprintf(`{"scheme": %q, "params": {"shd": %g}, "procs": %d, "point": true}`, loadScheme, shd, procs)
 }
 
 func curveBody(shd float64, procs int) string {
-	return fmt.Sprintf(`{"scheme": "swflush", "params": {"shd": %g}, "procs": %d}`, shd, procs)
+	return fmt.Sprintf(`{"scheme": %q, "params": {"shd": %g}, "procs": %d}`, loadScheme, shd, procs)
 }
 
 func post(ctx context.Context, client *http.Client, url, body string) (int, []byte, error) {

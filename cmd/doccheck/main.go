@@ -12,10 +12,12 @@
 // With no arguments it checks the serving stack's packages
 // (internal/serve, internal/gw, internal/sweep, internal/obs,
 // internal/fault) plus the model and solver kernels (internal/core,
-// internal/queueing), which OPERATIONS.md and DESIGN.md document in
-// prose and which therefore must stay navigable from godoc alone. Test files are
-// skipped. Exit status is nonzero if any identifier is undocumented,
-// with one "file:line: name" diagnostic per finding.
+// internal/queueing) and the trace-driven simulator (internal/sim) —
+// the packages a scheme author touches (SCHEMES.md) and the ones
+// OPERATIONS.md and DESIGN.md document in prose, which therefore must
+// stay navigable from godoc alone. Test files are skipped. Exit status
+// is nonzero if any identifier is undocumented, with one "file:line:
+// name" diagnostic per finding.
 package main
 
 import (
@@ -35,6 +37,7 @@ func main() {
 		dirs = []string{
 			"internal/serve", "internal/gw", "internal/sweep", "internal/obs",
 			"internal/fault", "internal/core", "internal/queueing",
+			"internal/sim",
 		}
 	}
 	findings, err := check(dirs)

@@ -75,5 +75,5 @@ func ExampleReadParams() {
 	fmt.Printf("light sharing, lazy flushing: build %s (%.0f%% of Base)\n",
 		best.Scheme.Name(), 100*best.Efficiency)
 	// Output:
-	// light sharing, lazy flushing: build Software-Flush (97% of Base)
+	// light sharing, lazy flushing: build Software-Flush+Prio (97% of Base)
 }

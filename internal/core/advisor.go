@@ -103,7 +103,7 @@ func Recommend(p Params, nproc, stages int) (Ranking, error) {
 // (network rankings always solve fresh: their Patel fixed point has no
 // cached form yet).
 func RecommendWith(ev PowerEvaluator, p Params, nproc, stages int) (Ranking, error) {
-	candidates := []Scheme{Dragon{}, SoftwareFlush{}, NoCache{}, Hybrid{LockFrac: 0.3}, Directory{}}
+	candidates := DefaultCandidates()
 	var ranked []Ranking
 	var err error
 	if stages == 0 {

@@ -39,7 +39,13 @@ func EvaluateBus(s Scheme, p Params, costs *CostTable, maxProcs int) ([]BusPoint
 	if err != nil {
 		return nil, err
 	}
-	mva, err := queueing.SingleServerMVA(d.Think(), d.Interconnect, maxProcs)
+	var mva []queueing.SingleServerResult
+	if d.Priority > 0 {
+		hi, lo := d.PrioritySplit()
+		mva, err = queueing.PrioritySingleServerMVA(d.Think(), hi, lo, maxProcs, nil)
+	} else {
+		mva, err = queueing.SingleServerMVA(d.Think(), d.Interconnect, maxProcs)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -126,19 +126,25 @@ func CanonicalParams(s Scheme, p Params) Params {
 // put an allocation on every lookup. Each scheme's fieldMask is derived
 // from the same list at init, so the two can never drift.
 var (
-	baseUsed    = []string{"ls", "msdat", "mains", "md"}
-	noCacheUsed = []string{"ls", "msdat", "mains", "md", "shd", "wr"}
-	swFlushUsed = []string{"ls", "msdat", "mains", "md", "shd", "apl", "mdshd"}
-	dragonUsed  = []string{"ls", "msdat", "mains", "md", "shd", "wr", "oclean", "opres", "nshd"}
-	dirUsed     = []string{"ls", "msdat", "mains", "md", "shd", "wr", "opres"}
-	hybridUsed  = []string{"ls", "msdat", "mains", "md", "shd", "wr", "apl", "mdshd"}
+	baseUsed         = []string{"ls", "msdat", "mains", "md"}
+	noCacheUsed      = []string{"ls", "msdat", "mains", "md", "shd", "wr"}
+	swFlushUsed      = []string{"ls", "msdat", "mains", "md", "shd", "apl", "mdshd"}
+	dragonUsed       = []string{"ls", "msdat", "mains", "md", "shd", "wr", "oclean", "opres", "nshd"}
+	dirUsed          = []string{"ls", "msdat", "mains", "md", "shd", "wr", "opres"}
+	hybridUsed       = []string{"ls", "msdat", "mains", "md", "shd", "wr", "apl", "mdshd"}
+	winvUsed         = []string{"ls", "msdat", "mains", "md", "shd", "wr", "oclean", "opres"}
+	hybridUpdateUsed = dragonUsed
+	allUsed          = []string{"ls", "msdat", "mains", "md", "shd", "wr", "mdshd", "apl", "oclean", "opres", "nshd"}
 
-	baseMask    = mustMask(baseUsed)
-	noCacheMask = mustMask(noCacheUsed)
-	swFlushMask = mustMask(swFlushUsed)
-	dragonMask  = mustMask(dragonUsed)
-	dirMask     = mustMask(dirUsed)
-	hybridMask  = mustMask(hybridUsed)
+	baseMask         = mustMask(baseUsed)
+	noCacheMask      = mustMask(noCacheUsed)
+	swFlushMask      = mustMask(swFlushUsed)
+	dragonMask       = mustMask(dragonUsed)
+	dirMask          = mustMask(dirUsed)
+	hybridMask       = mustMask(hybridUsed)
+	winvMask         = mustMask(winvUsed)
+	hybridUpdateMask = mustMask(hybridUpdateUsed)
+	allMask          = mustMask(allUsed)
 )
 
 // ParamsUsed implements ParamsUser: Base misses depend only on the
@@ -176,3 +182,17 @@ func (Directory) fieldMask() fieldMask { return dirMask }
 func (Hybrid) ParamsUsed() []string { return hybridUsed }
 
 func (Hybrid) fieldMask() fieldMask { return hybridMask }
+
+// ParamsUsed implements ParamsUser: Write-Invalidate reacts to the
+// Dragon sharing parameters except nshd (invalidations steal no cycles —
+// they convert into misses instead).
+func (WriteInvalidate) ParamsUsed() []string { return winvUsed }
+
+func (WriteInvalidate) fieldMask() fieldMask { return winvMask }
+
+// ParamsUsed implements ParamsUser: the update share broadcasts like
+// Dragon (including cycle steals via nshd), the invalidate share misses
+// like Write-Invalidate, so the union is exactly Dragon's set.
+func (HybridUpdate) ParamsUsed() []string { return hybridUpdateUsed }
+
+func (HybridUpdate) fieldMask() fieldMask { return hybridUpdateMask }

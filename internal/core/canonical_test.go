@@ -35,9 +35,15 @@ func TestFieldMaskMatchesFieldOrder(t *testing.T) {
 	}
 }
 
-// maskedSchemes lists every scheme that precomputes a fieldMask.
+// maskedSchemes lists every scheme that precomputes a fieldMask: all
+// registered schemes (so a new registration is covered automatically)
+// plus non-default knob settings.
 func maskedSchemes() []Scheme {
-	return []Scheme{Base{}, NoCache{}, SoftwareFlush{}, Dragon{}, Directory{}, Hybrid{LockFrac: 0.5}}
+	schemes := []Scheme{Hybrid{LockFrac: 0.5}, HybridUpdate{UpdateFrac: 0.25}}
+	for _, info := range RegisteredSchemes() {
+		schemes = append(schemes, info.Scheme)
+	}
+	return schemes
 }
 
 // TestFieldMaskersMatchParamsUsed checks every built-in scheme's

@@ -28,7 +28,7 @@ func (h Hybrid) String() string { return fmt.Sprintf("Hybrid(lock=%.2f)", h.Lock
 // Frequencies implements Scheme: the No-Cache formulas applied to the
 // lock share and the Software-Flush formulas applied to the rest.
 func (h Hybrid) Frequencies(p Params) ([]OpFreq, error) {
-	if h.LockFrac < 0 || h.LockFrac > 1 {
+	if !(h.LockFrac >= 0 && h.LockFrac <= 1) { // rejects NaN too
 		return nil, fmt.Errorf("%w: hybrid lock fraction %g not in [0,1]", ErrInvalidParams, h.LockFrac)
 	}
 	lockRefs := p.LS * p.Shd * h.LockFrac

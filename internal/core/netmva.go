@@ -23,6 +23,9 @@ func EvaluateNetworkMVA(s Scheme, p Params, stages int) (NetworkPoint, error) {
 	if stages < 1 {
 		return NetworkPoint{}, fmt.Errorf("core: stages %d < 1", stages)
 	}
+	if err := rejectPriorityOnNetwork(s); err != nil {
+		return NetworkPoint{}, err
+	}
 	costs := NetworkCosts(stages)
 	d, err := ComputeDemand(s, p, costs)
 	if err != nil {

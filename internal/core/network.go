@@ -32,13 +32,28 @@ type NetworkPoint struct {
 	Acceptance float64
 }
 
+// rejectPriorityOnNetwork fails schemes that demand a priority bus
+// service discipline: the network contention models (Patel retry, MVA
+// load-dependent, buffered packet) have no two-class counterpart, and
+// silently falling back to FCFS would misreport the discipline the
+// caller asked for.
+func rejectPriorityOnNetwork(s Scheme) error {
+	if _, ok := s.(PrioritySplitter); ok {
+		return fmt.Errorf("%w: %s needs a priority bus service discipline, which the network model does not provide", ErrUnsupported, s.Name())
+	}
+	return nil
+}
+
 // EvaluateNetworkAt runs the network model for one machine size given by
 // its stage count (2^stages processors). Costs are taken from
 // NetworkCosts(stages); schemes that need bus-only operations (Dragon)
-// fail with ErrUnsupported.
+// or a priority bus discipline fail with ErrUnsupported.
 func EvaluateNetworkAt(s Scheme, p Params, stages int) (NetworkPoint, error) {
 	if stages < 1 {
 		return NetworkPoint{}, fmt.Errorf("core: stages %d < 1", stages)
+	}
+	if err := rejectPriorityOnNetwork(s); err != nil {
+		return NetworkPoint{}, err
 	}
 	costs := NetworkCosts(stages)
 	d, err := ComputeDemand(s, p, costs)
@@ -116,6 +131,9 @@ func NetworkUtilization(stages int, rate, msgWords float64) (float64, error) {
 // overhead. Returns that rate, message size, and the raw Patel processor
 // utilization for the 2^stages-processor machine.
 func NetworkWorkloadPoint(s Scheme, l Level, stages int) (rate, msgWords, utilization float64, err error) {
+	if err := rejectPriorityOnNetwork(s); err != nil {
+		return 0, 0, 0, err
+	}
 	p := ParamsAt(l)
 	costs := NetworkCosts(stages)
 	d, err := ComputeDemand(s, p, costs)
@@ -154,6 +172,9 @@ func NetworkWorkloadPoint(s Scheme, l Level, stages int) (rate, msgWords, utiliz
 func EvaluatePacketNetwork(s Scheme, p Params, stages int) (NetworkPoint, error) {
 	if stages < 1 {
 		return NetworkPoint{}, fmt.Errorf("core: stages %d < 1", stages)
+	}
+	if err := rejectPriorityOnNetwork(s); err != nil {
+		return NetworkPoint{}, err
 	}
 	costs := NetworkCosts(stages)
 	d, err := ComputeDemand(s, p, costs)

@@ -42,6 +42,13 @@ const (
 	// OpCycleSteal is a cycle stolen from a processor whose cache
 	// updates its copy on hearing a write-broadcast.
 	OpCycleSteal
+	// OpInvalidate is an invalidation-based snoopy protocol's store to a
+	// block present in another cache: an address-only bus broadcast that
+	// invalidates the other copies (extension; Write-Invalidate and the
+	// hybrid update/invalidate schemes use it). Like Dragon's operations
+	// it needs a broadcast medium, so network cost tables leave it
+	// undefined.
+	OpInvalidate
 
 	numOps
 )
@@ -58,6 +65,7 @@ var opNames = [numOps]string{
 	"clean miss (cache)",
 	"dirty miss (cache)",
 	"cycle steal",
+	"invalidate",
 }
 
 // String returns the paper's name for the operation.

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSchemeNamesPinned pins the sorted canonical name list. A new
+// registration must update this test (and SCHEMES.md, which the drift
+// test ties to the same source of truth).
+func TestSchemeNamesPinned(t *testing.T) {
+	want := []string{
+		"Base",
+		"Directory",
+		"Dragon",
+		"Hybrid",
+		"Hybrid-Update",
+		"No-Cache",
+		"Software-Flush",
+		"Software-Flush+Prio",
+		"Write-Invalidate",
+	}
+	if got := SchemeNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("SchemeNames() = %v, want %v", got, want)
+	}
+}
+
+// TestRegistryDuplicateRegistrationPanics: duplicate names and aliases
+// must fail loudly at registration, never overwrite.
+func TestRegistryDuplicateRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Register(Info{Scheme: Base{}, Aliases: []string{"base"}})
+	mustPanic("duplicate canonical name", func() {
+		r.Register(Info{Scheme: Base{}})
+	})
+	mustPanic("alias colliding with a canonical name", func() {
+		r.Register(Info{Scheme: Dragon{}, Aliases: []string{"Base"}})
+	})
+	mustPanic("duplicate alias", func() {
+		r.Register(Info{Scheme: Dragon{}, Aliases: []string{"base"}})
+	})
+	mustPanic("nil scheme", func() {
+		r.Register(Info{})
+	})
+}
+
+// TestRegistryLookupAliases: every registered alias resolves to the
+// same entry as its canonical name, and lookups are case-sensitive
+// (matching the pre-registry SchemeByName contract).
+func TestRegistryLookupAliases(t *testing.T) {
+	for _, tc := range []struct{ alias, canonical string }{
+		{"base", "Base"},
+		{"dragon", "Dragon"},
+		{"swflush", "Software-Flush"},
+		{"flush", "Software-Flush"},
+		{"nocache", "No-Cache"},
+		{"no-cache", "No-Cache"},
+		{"directory", "Directory"},
+		{"hybrid", "Hybrid"},
+		{"winv", "Write-Invalidate"},
+		{"wi", "Write-Invalidate"},
+		{"mesi", "Write-Invalidate"},
+		{"hybrid-update", "Hybrid-Update"},
+		{"competitive", "Hybrid-Update"},
+		{"swflush-prio", "Software-Flush+Prio"},
+		{"priority", "Software-Flush+Prio"},
+	} {
+		info, ok := SchemeInfoByName(tc.alias)
+		if !ok {
+			t.Errorf("alias %q not registered", tc.alias)
+			continue
+		}
+		if got := info.Scheme.Name(); got != tc.canonical {
+			t.Errorf("alias %q -> %q, want %q", tc.alias, got, tc.canonical)
+		}
+	}
+	if _, ok := SchemeInfoByName("SWFLUSH"); ok {
+		t.Error("lookup is not case-sensitive")
+	}
+}
+
+// TestSchemeByNameErrorListsValidNames: the unknown-name error must
+// enumerate the registry's canonical names, so the hint can never go
+// stale the way a hardcoded list would.
+func TestSchemeByNameErrorListsValidNames(t *testing.T) {
+	_, err := SchemeByName("firefly")
+	if err == nil {
+		t.Fatal("want error for unknown scheme")
+	}
+	for _, name := range SchemeNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered scheme %q", err, name)
+		}
+	}
+}
+
+// cacheLabel mirrors the cache-identity rule used by the sweep
+// evaluator, serve handlers, and gateway keys: String when the scheme
+// carries configuration, Name otherwise.
+func cacheLabel(s Scheme) string {
+	if str, ok := s.(fmt.Stringer); ok {
+		return str.String()
+	}
+	return s.Name()
+}
+
+// TestCanonicalFingerprintsPairwiseDistinct: every registered scheme
+// must produce a distinct, stable cache fingerprint — the (label,
+// canonical params) pair the memo cache, snapshots, and gateway
+// affinity all key on. A collision would silently serve one scheme's
+// results for another.
+func TestCanonicalFingerprintsPairwiseDistinct(t *testing.T) {
+	p := MiddleParams()
+	seen := map[string]string{} // fingerprint -> scheme name
+	for _, info := range RegisteredSchemes() {
+		s := info.Scheme
+		fp := fmt.Sprintf("%s|%+v", cacheLabel(s), CanonicalParams(s, p))
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("%s and %s share cache fingerprint %q", prev, s.Name(), fp)
+		}
+		seen[fp] = s.Name()
+	}
+	// Knobbed variants must also be distinct from their defaults.
+	for _, tc := range []struct {
+		a, b Scheme
+	}{
+		{Hybrid{LockFrac: 0.3}, Hybrid{LockFrac: 0.4}},
+		{HybridUpdate{UpdateFrac: 0.5}, HybridUpdate{UpdateFrac: 0.7}},
+		{PriorityBus{Inner: SoftwareFlush{}}, SoftwareFlush{}},
+	} {
+		if cacheLabel(tc.a) == cacheLabel(tc.b) {
+			t.Errorf("distinct configurations share label %q", cacheLabel(tc.a))
+		}
+	}
+}
+
+// TestRegisteredLabel covers the snapshot fail-close predicate: labels
+// of every registered scheme (knobbed spellings included) pass; labels
+// from unknown schemes fail.
+func TestRegisteredLabel(t *testing.T) {
+	for _, info := range RegisteredSchemes() {
+		if !RegisteredLabel(cacheLabel(info.Scheme)) {
+			t.Errorf("label %q of registered scheme not recognized", cacheLabel(info.Scheme))
+		}
+	}
+	for _, label := range []string{
+		"Hybrid(lock=0.85)",
+		"Hybrid-Update(update=0.10)",
+		"Software-Flush+Prio",
+	} {
+		if !RegisteredLabel(label) {
+			t.Errorf("knobbed label %q not recognized", label)
+		}
+	}
+	for _, label := range []string{"Firefly", "MOESI(x=1)", ""} {
+		if RegisteredLabel(label) {
+			t.Errorf("unknown label %q recognized", label)
+		}
+	}
+}
+
+// TestPaperSchemesFromRegistry: PaperSchemes must keep the paper's
+// presentation order regardless of how many extensions register.
+func TestPaperSchemesFromRegistry(t *testing.T) {
+	var got []string
+	for _, s := range PaperSchemes() {
+		got = append(got, s.Name())
+	}
+	want := []string{"Base", "Dragon", "Software-Flush", "No-Cache"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PaperSchemes() = %v, want %v", got, want)
+	}
+}
+
+// TestDefaultCandidatesFromRegistry: the advisor candidate set is every
+// Advise-marked registration, which excludes Base (it is the
+// yardstick, not an implementable choice).
+func TestDefaultCandidatesFromRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range DefaultCandidates() {
+		names[s.Name()] = true
+	}
+	if names["Base"] {
+		t.Error("Base must not be an advisor candidate")
+	}
+	for _, want := range []string{
+		"Dragon", "Software-Flush", "No-Cache", "Hybrid", "Directory",
+		"Write-Invalidate", "Hybrid-Update", "Software-Flush+Prio",
+	} {
+		if !names[want] {
+			t.Errorf("advisor candidates missing %s", want)
+		}
+	}
+}

@@ -37,11 +37,44 @@ type Demand struct {
 	CPU float64
 	// Interconnect is b: mean bus/network cycles per instruction.
 	Interconnect float64
+	// Priority is the portion of Interconnect issued as high-priority
+	// transactions under a priority bus service discipline. It is zero
+	// for every FCFS scheme — the paper's model and all pre-registry
+	// extensions — and only nonzero when the scheme implements
+	// PrioritySplitter (the PriorityBus wrapper). FCFS demand math is
+	// untouched: CPU and Interconnect accumulate exactly as before.
+	Priority float64
 }
 
 // Think returns c-b, the mean cycles between the end of one interconnect
 // transaction and the start of the next.
 func (d Demand) Think() float64 { return d.CPU - d.Interconnect }
+
+// PrioritySplit returns the per-class service demands for the priority
+// bus discipline: hi is the high-priority share, lo the remainder of
+// Interconnect. lo is clamped at zero so float rounding in the two
+// accumulations can never produce a negative class demand.
+func (d Demand) PrioritySplit() (hi, lo float64) {
+	hi = d.Priority
+	lo = d.Interconnect - d.Priority
+	if lo < 0 {
+		lo = 0
+	}
+	return hi, lo
+}
+
+// PrioritySplitter is implemented by schemes that request a priority
+// (head-of-line) bus service discipline instead of FCFS: operations it
+// classifies high-priority contribute to Demand.Priority, and the bus
+// contention model routes the demand through the two-class priority MVA
+// solver instead of the FCFS one. Schemes that do not implement it get
+// FCFS, bit-identical to the pre-registry model.
+type PrioritySplitter interface {
+	// HighPriority reports whether op is served in the high-priority
+	// class (short address/word transactions) rather than the
+	// low-priority class (block transfers).
+	HighPriority(op Op) bool
+}
 
 // ComputeDemand evaluates equations (1) and (2): it weights each
 // operation's cost by its frequency. It fails if the scheme uses an
@@ -55,6 +88,7 @@ func ComputeDemand(s Scheme, p Params, costs *CostTable) (Demand, error) {
 	if err != nil {
 		return Demand{}, err
 	}
+	split, prioritized := s.(PrioritySplitter)
 	var d Demand
 	for _, f := range freqs {
 		if f.Freq == 0 {
@@ -69,6 +103,9 @@ func ComputeDemand(s Scheme, p Params, costs *CostTable) (Demand, error) {
 		c := costs.Cost(f.Op)
 		d.CPU += f.Freq * c.CPU
 		d.Interconnect += f.Freq * c.Interconnect
+		if prioritized && split.HighPriority(f.Op) {
+			d.Priority += f.Freq * c.Interconnect
+		}
 	}
 	return d, nil
 }
@@ -171,25 +208,22 @@ func NewScheme(id SchemeID) (Scheme, error) {
 }
 
 // PaperSchemes returns the four schemes of the paper in presentation
-// order: Base, Dragon, Software-Flush, No-Cache.
+// order: Base, Dragon, Software-Flush, No-Cache. It reads the default
+// registry's Paper-marked entries, whose registration order matches.
 func PaperSchemes() []Scheme {
-	return []Scheme{Base{}, Dragon{}, SoftwareFlush{}, NoCache{}}
+	var out []Scheme
+	for _, info := range registry.All() {
+		if info.Paper {
+			out = append(out, info.Scheme)
+		}
+	}
+	return out
 }
 
-// SchemeByName resolves a case-sensitive scheme name ("base", "nocache",
-// "swflush", "dragon", "directory", or the paper spellings).
+// SchemeByName resolves a case-sensitive scheme name or alias ("base",
+// "swflush", "dragon", "winv", ...) against the default registry,
+// returning the scheme's default instance. Unknown names get an error
+// listing the registered canonical names.
 func SchemeByName(name string) (Scheme, error) {
-	switch name {
-	case "base", "Base":
-		return Base{}, nil
-	case "nocache", "no-cache", "No-Cache":
-		return NoCache{}, nil
-	case "swflush", "software-flush", "Software-Flush", "flush":
-		return SoftwareFlush{}, nil
-	case "dragon", "Dragon":
-		return Dragon{}, nil
-	case "directory", "Directory":
-		return Directory{}, nil
-	}
-	return nil, fmt.Errorf("core: unknown scheme %q", name)
+	return registry.ByName(name)
 }

@@ -274,12 +274,15 @@ func TestNewSchemeAndNames(t *testing.T) {
 }
 
 func TestSchemeByName(t *testing.T) {
-	for _, name := range []string{"base", "nocache", "swflush", "dragon", "directory", "No-Cache", "Software-Flush"} {
+	for _, name := range []string{
+		"base", "nocache", "swflush", "dragon", "directory", "No-Cache", "Software-Flush",
+		"hybrid", "winv", "mesi", "hybrid-update", "swflush-prio", "priority",
+	} {
 		if _, err := SchemeByName(name); err != nil {
 			t.Errorf("%q: %v", name, err)
 		}
 	}
-	if _, err := SchemeByName("mesi"); err == nil {
+	if _, err := SchemeByName("firefly"); err == nil {
 		t.Error("want error for unknown name")
 	}
 }

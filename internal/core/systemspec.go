@@ -58,6 +58,9 @@ func (s SystemSpec) Table() *CostTable {
 		t.define(OpCleanMissCache, 3+m+w, m+w)
 		t.define(OpDirtyMissCache, 3+m+2*w, m+2*w)
 		t.define(OpCycleSteal, 1, 0)
+		// An invalidation is an address-only broadcast: same shape as a
+		// posted write-through (1 address cycle on the bus), no data words.
+		t.define(OpInvalidate, 2, 1)
 		return t
 	}
 	n := float64(s.Stages)

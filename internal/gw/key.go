@@ -58,15 +58,12 @@ func splitmix64(x uint64) uint64 {
 // strict validation is the backend's job, the gateway only needs a
 // stable equivalence class.
 type keyRequest struct {
-	Scheme   string          `json:"scheme"`
-	LockFrac *float64        `json:"lockfrac"`
-	Level    string          `json:"level"`
-	Params   json.RawMessage `json:"params"`
+	Scheme     string          `json:"scheme"`
+	LockFrac   *float64        `json:"lockfrac"`
+	UpdateFrac *float64        `json:"updatefrac"`
+	Level      string          `json:"level"`
+	Params     json.RawMessage `json:"params"`
 }
-
-// defaultLockFrac mirrors the backend's hybrid default, so "hybrid"
-// with and without an explicit 0.3 key identically.
-const defaultLockFrac = 0.3
 
 // requestKey derives the routing key for one request body. Bus and
 // network requests key on (scheme identity, canonical params); bodies
@@ -91,7 +88,7 @@ func pointKey(body []byte) (uint64, bool) {
 	if err := json.Unmarshal(body, &req); err != nil {
 		return 0, false
 	}
-	scheme, err := keyScheme(req.Scheme, req.LockFrac)
+	scheme, err := keyScheme(req.Scheme, req.LockFrac, req.UpdateFrac)
 	if err != nil {
 		return 0, false
 	}
@@ -110,17 +107,31 @@ func pointKey(body []byte) (uint64, bool) {
 	return h, true
 }
 
-// keyScheme resolves a scheme name the way the backend will, hybrid
-// lock fraction included.
-func keyScheme(name string, lockFrac *float64) (core.Scheme, error) {
-	if name == "hybrid" || name == "Hybrid" {
-		lf := defaultLockFrac
-		if lockFrac != nil {
-			lf = *lockFrac
-		}
-		return core.Hybrid{LockFrac: lf}, nil
+// keyScheme resolves a scheme name the way the backend will, knob
+// values (hybrid lock fraction, hybrid-update update fraction)
+// included: the registry supplies each scheme's knob name, default,
+// and constructor, so new knobbed schemes key correctly with no
+// gateway change.
+func keyScheme(name string, lockFrac, updateFrac *float64) (core.Scheme, error) {
+	info, ok := core.SchemeInfoByName(name)
+	if !ok {
+		return core.SchemeByName(name) // surfaces the names-listing error
 	}
-	return core.SchemeByName(name)
+	if info.Configure == nil {
+		return info.Scheme, nil
+	}
+	v := info.KnobDefault
+	switch info.Knob {
+	case "lockfrac":
+		if lockFrac != nil {
+			v = *lockFrac
+		}
+	case "updatefrac":
+		if updateFrac != nil {
+			v = *updateFrac
+		}
+	}
+	return info.Configure(v)
 }
 
 // keyParams resolves the workload spec the way the backend will: a

@@ -1,0 +1,74 @@
+package queueing
+
+import "fmt"
+
+// PrioritySingleServerMVA solves the machine-repairman model with a
+// two-class priority (head-of-line, non-preemptive approximation) server
+// instead of FCFS, for populations 1..customers: each transaction a
+// customer issues is a high-priority service of mean `hi` followed by
+// (conceptually, split from) a low-priority service of mean `lo`, with
+// hi+lo equal to the FCFS model's service demand. The high class is
+// served ahead of queued low-class work; the low class sees a server
+// slowed by high-class utilization (the standard MVA shadow-server
+// approximation for priority scheduling: Bryant et al., and the
+// FCFS-versus-priority bus studies the PriorityBus scheme follows).
+//
+// Degenerate classes reduce the recurrence to the FCFS one bit-exactly:
+// with hi = 0 the high class contributes nothing and the shadow factor
+// is 1-0, so lo behaves exactly like FCFS service; with lo = 0 only the
+// high class remains, which queues like FCFS. Callers may therefore
+// dispatch on "any high-priority demand?" without worrying about a seam
+// at the boundary.
+//
+// Results have the same shape as the FCFS solver: Residence and Wait
+// cover both classes of one transaction, Utilization is total server
+// busy fraction. Unlike the FCFS recursion, the inter-population state
+// is per-class, so cached FCFS curves cannot be extended into priority
+// ones — use a full solve. When dst has capacity for customers results
+// it is reused as the backing array.
+func PrioritySingleServerMVA(think, hi, lo float64, customers int, dst []SingleServerResult) ([]SingleServerResult, error) {
+	if customers < 1 {
+		return nil, fmt.Errorf("%w: customers %d < 1", ErrInvalidInput, customers)
+	}
+	if think < 0 || hi < 0 || lo < 0 {
+		return nil, fmt.Errorf("%w: think %g, high %g, or low %g negative", ErrInvalidInput, think, hi, lo)
+	}
+	var results []SingleServerResult
+	if cap(dst) >= customers {
+		results = dst[:customers]
+	} else {
+		results = make([]SingleServerResult, customers)
+	}
+	service := hi + lo
+	// Per-class queue lengths and high-class utilization with n-1
+	// customers.
+	qh, ql, uh := 0.0, 0.0, 0.0
+	for n := 1; n <= customers; n++ {
+		rh := hi * (1 + qh)
+		var rl float64
+		if lo > 0 {
+			den := 1 - uh
+			if den < 1e-12 {
+				den = 1e-12
+			}
+			rl = lo * (1 + ql) / den
+		}
+		r := rh + rl
+		var x float64
+		if think+r > 0 {
+			x = float64(n) / (think + r)
+		}
+		qh = x * rh
+		ql = x * rl
+		uh = x * hi
+		results[n-1] = SingleServerResult{
+			Customers:   n,
+			Residence:   r,
+			Wait:        r - service,
+			Throughput:  x,
+			QueueLength: qh + ql,
+			Utilization: x * service,
+		}
+	}
+	return results, nil
+}

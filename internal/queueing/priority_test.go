@@ -1,0 +1,135 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestPriorityDegenerateMatchesFCFS pins the seam the bus model's
+// dispatch relies on: with either class empty, the priority recurrence
+// must reproduce the FCFS solver bit-exactly, so "no high-priority
+// demand" and "FCFS" are the same model, not merely close.
+func TestPriorityDegenerateMatchesFCFS(t *testing.T) {
+	const think, service = 3.75, 0.25
+	want, err := SingleServerMVA(think, service, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		hi, lo float64
+	}{
+		{"all low", 0, service},
+		{"all high", service, 0},
+	} {
+		got, err := PrioritySingleServerMVA(think, tc.hi, tc.lo, 64, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: population %d differs:\n prio %+v\n fcfs %+v",
+					tc.name, i+1, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPrioritySplitProperties checks the approximation behaves like a
+// priority discipline: same total utilization law as FCFS at equal
+// total demand, and residence no better than the contention-free floor.
+func TestPrioritySplitProperties(t *testing.T) {
+	const think, hi, lo = 3.0, 0.2, 0.3
+	res, err := PrioritySingleServerMVA(think, hi, lo, 128, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Customers != i+1 {
+			t.Fatalf("Customers = %d at index %d", r.Customers, i)
+		}
+		if r.Residence < hi+lo-1e-12 {
+			t.Errorf("n=%d: residence %g below service demand", r.Customers, r.Residence)
+		}
+		if r.Wait < -1e-12 {
+			t.Errorf("n=%d: negative wait %g", r.Customers, r.Wait)
+		}
+		if got, want := r.Utilization, r.Throughput*(hi+lo); math.Abs(got-want) > 1e-12 {
+			t.Errorf("n=%d: utilization %g != throughput*service %g", r.Customers, got, want)
+		}
+		if r.Utilization > 1+1e-9 {
+			t.Errorf("n=%d: utilization %g exceeds 1", r.Customers, r.Utilization)
+		}
+		if i > 0 && r.Residence < res[i-1].Residence-1e-12 {
+			t.Errorf("n=%d: residence not monotone (%g < %g)", r.Customers, r.Residence, res[i-1].Residence)
+		}
+	}
+	// Saturation: throughput approaches the 1/(hi+lo) service ceiling.
+	last := res[len(res)-1]
+	if ceil := 1 / (hi + lo); last.Throughput > ceil+1e-9 || last.Throughput < 0.9*ceil {
+		t.Errorf("saturated throughput %g, ceiling %g", last.Throughput, ceil)
+	}
+}
+
+// TestPriorityTracksFCFSTotals: the split server models the same total
+// demand as FCFS, so the combined residence must track the FCFS curve
+// closely (the shadow-server approximation reshuffles waiting between
+// classes, it does not change the server), it must genuinely differ
+// from FCFS (otherwise the dispatch seam is untestable), and the
+// saturation throughput ceiling 1/(hi+lo) must be shared.
+func TestPriorityTracksFCFSTotals(t *testing.T) {
+	const think, hi, lo = 2.0, 0.3, 0.3
+	fcfs, err := SingleServerMVA(think, hi+lo, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prio, err := PrioritySingleServerMVA(think, hi, lo, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	for i := range fcfs {
+		f, p := fcfs[i].Residence, prio[i].Residence
+		if math.Abs(p-f) > 0.15*f {
+			t.Errorf("n=%d: priority residence %g drifts >15%% from FCFS %g", i+1, p, f)
+		}
+		if p != f {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("priority curve is bit-identical to FCFS; split has no effect")
+	}
+	if f, p := fcfs[63].Throughput, prio[63].Throughput; math.Abs(p-f) > 0.01*f {
+		t.Errorf("saturated throughput: priority %g vs FCFS %g", p, f)
+	}
+}
+
+// TestPriorityReusesDst pins the buffer contract shared with the FCFS
+// solvers: sufficient capacity means dst's backing array is reused.
+func TestPriorityReusesDst(t *testing.T) {
+	dst := make([]SingleServerResult, 0, 32)
+	got, err := PrioritySingleServerMVA(1, 0.1, 0.2, 16, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Error("dst with sufficient capacity was not reused")
+	}
+}
+
+func TestPriorityErrors(t *testing.T) {
+	if _, err := PrioritySingleServerMVA(1, 0.1, 0.1, 0, nil); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("customers 0: %v", err)
+	}
+	if _, err := PrioritySingleServerMVA(-1, 0.1, 0.1, 4, nil); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("negative think: %v", err)
+	}
+	if _, err := PrioritySingleServerMVA(1, -0.1, 0.1, 4, nil); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("negative hi: %v", err)
+	}
+	if _, err := PrioritySingleServerMVA(1, 0.1, -0.1, 4, nil); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("negative lo: %v", err)
+	}
+}

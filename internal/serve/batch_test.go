@@ -111,7 +111,7 @@ func TestSweepValidation(t *testing.T) {
 		{"unknown envelope field", `{"points": [{"scheme": "base"}], "procs": 8}`, ""},
 		{"over batch cap", `{"points": [{"scheme": "base"}, {"scheme": "base"},
 			{"scheme": "base"}, {"scheme": "base"}]}`, "cap"},
-		{"unknown scheme at index", `{"points": [{"scheme": "base"}, {"scheme": "mesi"}]}`,
+		{"unknown scheme at index", `{"points": [{"scheme": "base"}, {"scheme": "firefly"}]}`,
 			"points[1]"},
 		{"bad param at index", `{"points": [{"scheme": "base", "params": {"shd": 1.5}}]}`,
 			"points[0]"},

@@ -228,30 +228,62 @@ func resolveParams(level string, params json.RawMessage) (core.Params, error) {
 	return p, nil
 }
 
-// defaultLockFrac mirrors the advisor CLI's hybrid configuration.
-const defaultLockFrac = 0.3
-
-// resolveScheme resolves a request's scheme name, with "hybrid"
-// accepting an optional lock fraction.
-func resolveScheme(name string, lockFrac *float64) (core.Scheme, error) {
-	lf := defaultLockFrac
-	if lockFrac != nil {
-		lf = *lockFrac
-		if math.IsNaN(lf) || lf < 0 || lf > 1 {
-			return nil, badRequest("lockfrac %v not in [0,1]", lf)
+// resolveScheme resolves a request's scheme name against the registry,
+// applying the scheme's knob ("lockfrac" for hybrid, "updatefrac" for
+// hybrid-update) when the request carries one. A knob value sent for a
+// scheme without that knob is a 400, as before.
+func resolveScheme(name string, lockFrac, updateFrac *float64) (core.Scheme, error) {
+	info, ok := core.SchemeInfoByName(name)
+	if !ok {
+		_, err := core.SchemeByName(name) // for the names-listing error text
+		return nil, badRequest("%v", err)
+	}
+	var knob *float64
+	switch {
+	case lockFrac != nil && updateFrac != nil:
+		return nil, badRequest(`"lockfrac" and "updatefrac" are mutually exclusive`)
+	case lockFrac != nil:
+		if info.Knob != "lockfrac" {
+			return nil, badRequest(`"lockfrac" only applies to scheme "hybrid"`)
+		}
+		knob = lockFrac
+	case updateFrac != nil:
+		if info.Knob != "updatefrac" {
+			return nil, badRequest(`"updatefrac" only applies to scheme "hybrid-update"`)
+		}
+		knob = updateFrac
+	}
+	if info.Configure == nil {
+		return info.Scheme, nil
+	}
+	v := info.KnobDefault
+	if knob != nil {
+		v = *knob
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return nil, badRequest("%s %v not in [0,1]", info.Knob, v)
 		}
 	}
-	if name == "hybrid" || name == "Hybrid" {
-		return core.Hybrid{LockFrac: lf}, nil
-	}
-	if lockFrac != nil {
-		return nil, badRequest(`"lockfrac" only applies to scheme "hybrid"`)
-	}
-	s, err := core.SchemeByName(name)
+	sch, err := info.Configure(v)
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
-	return s, nil
+	return sch, nil
+}
+
+// knobArgs picks which of the request's knob values apply to the named
+// scheme, so a request listing several schemes can carry "lockfrac" (or
+// "updatefrac") without erroring on the schemes that have no such knob —
+// matching the old behavior of passing lockfrac only to "hybrid".
+func knobArgs(name string, lockFrac, updateFrac *float64) (lf, uf *float64) {
+	if info, ok := core.SchemeInfoByName(name); ok {
+		switch info.Knob {
+		case "lockfrac":
+			lf = lockFrac
+		case "updatefrac":
+			uf = updateFrac
+		}
+	}
+	return lf, uf
 }
 
 // schemeLabel is the cache's identity string for a scheme: Name, or
@@ -283,11 +315,13 @@ func (s *Server) checkStages(stages int) (int, error) {
 // --- /v1/bus ---
 
 type busRequest struct {
-	Scheme   string          `json:"scheme"`
-	LockFrac *float64        `json:"lockfrac,omitempty"`
-	Level    string          `json:"level,omitempty"`
-	Params   json.RawMessage `json:"params,omitempty"`
-	Procs    int             `json:"procs,omitempty"`
+	Scheme   string   `json:"scheme"`
+	LockFrac *float64 `json:"lockfrac,omitempty"`
+	// UpdateFrac tunes the hybrid-update scheme's update share.
+	UpdateFrac *float64        `json:"updatefrac,omitempty"`
+	Level      string          `json:"level,omitempty"`
+	Params     json.RawMessage `json:"params,omitempty"`
+	Procs      int             `json:"procs,omitempty"`
 	// Point requests only the prediction at exactly Procs processors
 	// instead of the full 1..Procs curve.
 	Point bool `json:"point,omitempty"`
@@ -305,7 +339,7 @@ func (s *Server) handleBus(ctx context.Context, body []byte) (any, error) {
 	if err := decodeStrict(body, &req); err != nil {
 		return nil, err
 	}
-	scheme, err := resolveScheme(req.Scheme, req.LockFrac)
+	scheme, err := resolveScheme(req.Scheme, req.LockFrac, req.UpdateFrac)
 	if err != nil {
 		return nil, err
 	}
@@ -340,11 +374,13 @@ func (s *Server) handleBus(ctx context.Context, body []byte) (any, error) {
 // --- /v1/network ---
 
 type networkRequest struct {
-	Scheme   string          `json:"scheme"`
-	LockFrac *float64        `json:"lockfrac,omitempty"`
-	Level    string          `json:"level,omitempty"`
-	Params   json.RawMessage `json:"params,omitempty"`
-	Stages   int             `json:"stages"`
+	Scheme   string   `json:"scheme"`
+	LockFrac *float64 `json:"lockfrac,omitempty"`
+	// UpdateFrac tunes the hybrid-update scheme's update share.
+	UpdateFrac *float64        `json:"updatefrac,omitempty"`
+	Level      string          `json:"level,omitempty"`
+	Params     json.RawMessage `json:"params,omitempty"`
+	Stages     int             `json:"stages"`
 	// Model selects the contention model: "patel" (default, the paper's
 	// retry fixed point) or "mva" (the footnote-2 load-dependent MVA).
 	Model string `json:"model,omitempty"`
@@ -361,7 +397,7 @@ func (s *Server) handleNetwork(ctx context.Context, body []byte) (any, error) {
 	if err := decodeStrict(body, &req); err != nil {
 		return nil, err
 	}
-	scheme, err := resolveScheme(req.Scheme, req.LockFrac)
+	scheme, err := resolveScheme(req.Scheme, req.LockFrac, req.UpdateFrac)
 	if err != nil {
 		return nil, err
 	}
@@ -408,6 +444,8 @@ type advisorRequest struct {
 	// implementable candidates).
 	Schemes  []string `json:"schemes,omitempty"`
 	LockFrac *float64 `json:"lockfrac,omitempty"`
+	// UpdateFrac tunes the hybrid-update scheme's update share.
+	UpdateFrac *float64 `json:"updatefrac,omitempty"`
 }
 
 type rankingJSON struct {
@@ -421,13 +459,9 @@ type advisorResponse struct {
 	Rankings []rankingJSON `json:"rankings"`
 }
 
-// defaultCandidates mirrors cohere advise and core.Recommend.
-func defaultCandidates() []core.Scheme {
-	return []core.Scheme{
-		core.Dragon{}, core.SoftwareFlush{}, core.NoCache{},
-		core.Hybrid{LockFrac: defaultLockFrac}, core.Directory{},
-	}
-}
+// defaultCandidates mirrors cohere advise and core.Recommend: the
+// registry's Advise-marked schemes.
+func defaultCandidates() []core.Scheme { return core.DefaultCandidates() }
 
 func (s *Server) handleAdvisor(ctx context.Context, body []byte) (any, error) {
 	var req advisorRequest
@@ -442,11 +476,8 @@ func (s *Server) handleAdvisor(ctx context.Context, body []byte) (any, error) {
 	if len(req.Schemes) > 0 {
 		candidates = candidates[:0]
 		for _, name := range req.Schemes {
-			var lf *float64
-			if name == "hybrid" || name == "Hybrid" {
-				lf = req.LockFrac
-			}
-			sch, err := resolveScheme(name, lf)
+			lf, uf := knobArgs(name, req.LockFrac, req.UpdateFrac)
+			sch, err := resolveScheme(name, lf, uf)
 			if err != nil {
 				return nil, err
 			}
@@ -502,6 +533,8 @@ type sensitivityRequest struct {
 	// schemes).
 	Schemes  []string `json:"schemes,omitempty"`
 	LockFrac *float64 `json:"lockfrac,omitempty"`
+	// UpdateFrac tunes the hybrid-update scheme's update share.
+	UpdateFrac *float64 `json:"updatefrac,omitempty"`
 }
 
 func (s *Server) handleSensitivity(ctx context.Context, body []byte) (any, error) {
@@ -517,11 +550,8 @@ func (s *Server) handleSensitivity(ctx context.Context, body []byte) (any, error
 	if len(req.Schemes) > 0 {
 		schemes = schemes[:0]
 		for _, name := range req.Schemes {
-			var lf *float64
-			if name == "hybrid" || name == "Hybrid" {
-				lf = req.LockFrac
-			}
-			sch, err := resolveScheme(name, lf)
+			lf, uf := knobArgs(name, req.LockFrac, req.UpdateFrac)
+			sch, err := resolveScheme(name, lf, uf)
 			if err != nil {
 				return nil, err
 			}

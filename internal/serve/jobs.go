@@ -37,6 +37,8 @@ type jobSubmitRequest struct {
 	// Schemes names the competing schemes (refine needs at least two).
 	Schemes  []string `json:"schemes"`
 	LockFrac *float64 `json:"lockfrac,omitempty"`
+	// UpdateFrac tunes the hybrid-update scheme's update share.
+	UpdateFrac *float64 `json:"updatefrac,omitempty"`
 	// Level / Params set the base workload, as in /v1/bus.
 	Level  string          `json:"level,omitempty"`
 	Params json.RawMessage `json:"params,omitempty"`
@@ -159,11 +161,8 @@ func (s *Server) handleJobSubmit(ctx context.Context, body []byte) (any, error) 
 	}
 	schemes := make([]core.Scheme, 0, len(req.Schemes))
 	for _, name := range req.Schemes {
-		var lf *float64
-		if name == "hybrid" || name == "Hybrid" {
-			lf = req.LockFrac
-		}
-		sch, err := resolveScheme(name, lf)
+		lf, uf := knobArgs(name, req.LockFrac, req.UpdateFrac)
+		sch, err := resolveScheme(name, lf, uf)
 		if err != nil {
 			return nil, err
 		}

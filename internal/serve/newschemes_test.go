@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"swcc/internal/core"
+)
+
+// TestNewSchemesReachableEverywhere drives each post-registry scheme —
+// Write-Invalidate, Hybrid-Update, and the priority-bus discipline —
+// through every public surface the acceptance criteria name: /v1/bus,
+// /v1/sweep, an async job, and the advisor. Each /v1/bus answer must be
+// bit-identical to the direct library call, so the serving path adds no
+// seam for extension schemes.
+func TestNewSchemesReachableEverywhere(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		wire   string
+		scheme core.Scheme
+		label  string
+	}{
+		{"winv", core.WriteInvalidate{}, "Write-Invalidate"},
+		{"hybrid-update", core.HybridUpdate{UpdateFrac: 0.5}, "Hybrid-Update(update=0.50)"},
+		{"swflush-prio", core.PriorityBus{Inner: core.SoftwareFlush{}}, "Software-Flush+Prio"},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.wire+"/bus", func(t *testing.T) {
+			code, body := post(t, ts, "/v1/bus",
+				fmt.Sprintf(`{"scheme": %q, "params": {"shd": 0.4}, "procs": 8}`, tc.wire))
+			if code != http.StatusOK {
+				t.Fatalf("status %d: %s", code, body)
+			}
+			var resp busResponse
+			if err := json.Unmarshal(body, &resp); err != nil {
+				t.Fatal(err)
+			}
+			if resp.Scheme != tc.label {
+				t.Errorf("scheme label = %q, want %q", resp.Scheme, tc.label)
+			}
+			p, err := core.MiddleParams().With("shd", 0.4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := core.EvaluateBus(tc.scheme, p, core.BusCosts(), 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if resp.Points[i] != want[i] {
+					t.Fatalf("point %d differs from direct library call:\n got %+v\nwant %+v",
+						i+1, resp.Points[i], want[i])
+				}
+			}
+		})
+
+		t.Run(tc.wire+"/sweep", func(t *testing.T) {
+			code, body := post(t, ts, "/v1/sweep", fmt.Sprintf(
+				`{"points": [{"scheme": %q, "procs": 4, "point": true}, {"scheme": %q, "params": {"shd": 0.7}, "procs": 4, "point": true}]}`,
+				tc.wire, tc.wire))
+			if code != http.StatusOK {
+				t.Fatalf("status %d: %s", code, body)
+			}
+			var resp sweepResponse
+			if err := json.Unmarshal(body, &resp); err != nil {
+				t.Fatal(err)
+			}
+			if resp.Count != 2 {
+				t.Fatalf("count = %d, want 2", resp.Count)
+			}
+			for i, r := range resp.Results {
+				if r.Scheme != tc.label {
+					t.Errorf("result %d label = %q, want %q", i, r.Scheme, tc.label)
+				}
+			}
+		})
+
+		t.Run(tc.wire+"/job", func(t *testing.T) {
+			sub := submitJob(t, ts, fmt.Sprintf(
+				`{"schemes": [%q], "axis": "shd", "from": 0.2, "to": 0.6, "steps": 3, "procs": 4}`, tc.wire))
+			st := waitState(t, ts, sub.ID, "done")
+			if st.PointsOK != 3 || st.PointsErr != 0 {
+				t.Fatalf("job points ok/err = %d/%d, want 3/0", st.PointsOK, st.PointsErr)
+			}
+			stream := streamResults(t, ts, sub.ID, 0)
+			if len(stream.rows) != 3 {
+				t.Fatalf("streamed %d rows, want 3", len(stream.rows))
+			}
+		})
+	}
+
+	t.Run("advisor", func(t *testing.T) {
+		// Default candidate set: every Advise-marked registration shows up.
+		code, body := post(t, ts, "/v1/advisor", `{"level": "mid", "procs": 16}`)
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, body)
+		}
+		var resp advisorResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		ranked := map[string]bool{}
+		for _, r := range resp.Rankings {
+			ranked[r.Scheme] = true
+		}
+		// Knobbed schemes rank under their configured label, e.g.
+		// "Hybrid-Update(update=0.50)".
+		for _, want := range []string{"Write-Invalidate", "Hybrid-Update(update=0.50)", "Software-Flush+Prio"} {
+			if !ranked[want] {
+				t.Errorf("default advisor ranking missing %s (got %v)", want, resp.Rankings)
+			}
+		}
+		// Explicit list with a knob override.
+		code, body = post(t, ts, "/v1/advisor",
+			`{"schemes": ["swflush", "hybrid-update"], "updatefrac": 0.9, "procs": 16}`)
+		if code != http.StatusOK {
+			t.Fatalf("explicit list status %d: %s", code, body)
+		}
+	})
+}
+
+// TestNewSchemesDistinctResponses: on one fixed workload the three new
+// schemes (and their paper siblings) must all answer differently —
+// distinct canonical cache identities mean no scheme can alias into
+// another's memoized results.
+func TestNewSchemesDistinctResponses(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	schemes := []string{"base", "dragon", "swflush", "nocache", "directory", "hybrid",
+		"winv", "hybrid-update", "swflush-prio"}
+	seenPower := map[float64]string{}
+	seenLabel := map[string]string{}
+	for _, name := range schemes {
+		code, body := post(t, ts, "/v1/bus",
+			fmt.Sprintf(`{"scheme": %q, "params": {"shd": 0.5}, "procs": 16, "point": true}`, name))
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", name, code, body)
+		}
+		var resp busResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := seenLabel[resp.Scheme]; ok {
+			t.Errorf("%s and %s share response label %q", prev, name, resp.Scheme)
+		}
+		seenLabel[resp.Scheme] = name
+		pw := resp.Points[0].Power
+		if prev, ok := seenPower[pw]; ok {
+			t.Errorf("%s and %s predict identical power %g at shd=0.5/16 procs", prev, name, pw)
+		}
+		seenPower[pw] = name
+	}
+}
+
+// TestKnobValidation pins the knob plumbing: updatefrac only applies to
+// hybrid-update, lockfrac only to hybrid, the two are mutually
+// exclusive, and out-of-range values are rejected.
+func TestKnobValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name, body string
+		wantCode   int
+	}{
+		{"updatefrac on hybrid-update", `{"scheme": "hybrid-update", "updatefrac": 0.8, "procs": 4}`, http.StatusOK},
+		{"updatefrac changes the answer", `{"scheme": "hybrid-update", "updatefrac": 0.1, "procs": 4}`, http.StatusOK},
+		{"updatefrac on swflush", `{"scheme": "swflush", "updatefrac": 0.8, "procs": 4}`, http.StatusBadRequest},
+		{"lockfrac on hybrid-update", `{"scheme": "hybrid-update", "lockfrac": 0.5, "procs": 4}`, http.StatusBadRequest},
+		{"both knobs", `{"scheme": "hybrid", "lockfrac": 0.5, "updatefrac": 0.5, "procs": 4}`, http.StatusBadRequest},
+		{"updatefrac out of range", `{"scheme": "hybrid-update", "updatefrac": 1.5, "procs": 4}`, http.StatusBadRequest},
+		{"lockfrac still works", `{"scheme": "hybrid", "lockfrac": 0.6, "procs": 4}`, http.StatusOK},
+	} {
+		code, body := post(t, ts, "/v1/bus", tc.body)
+		if code != tc.wantCode {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, code, tc.wantCode, body)
+		}
+	}
+
+	// The knob must actually steer the model: different updatefrac,
+	// different power.
+	get := func(body string) float64 {
+		t.Helper()
+		code, data := post(t, ts, "/v1/bus", body)
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, data)
+		}
+		var resp busResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Points[len(resp.Points)-1].Power
+	}
+	hot := get(`{"scheme": "hybrid-update", "updatefrac": 0.9, "params": {"shd": 0.5}, "procs": 16}`)
+	cold := get(`{"scheme": "hybrid-update", "updatefrac": 0.1, "params": {"shd": 0.5}, "procs": 16}`)
+	if hot == cold {
+		t.Errorf("updatefrac has no effect: power %g either way", hot)
+	}
+}

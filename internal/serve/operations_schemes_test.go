@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"fmt"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"swcc/internal/core"
+)
+
+// TestOperationsDocCoversSchemes is the golden drift test keeping
+// OPERATIONS.md's "Scheme names and knobs" table synchronized with the
+// scheme registry, in both directions: every registered scheme must
+// have a row with its exact alias set and knob field, and every row
+// must correspond to a live registration. Registering, retiring, or
+// re-aliasing a scheme forces the matching operator-doc edit.
+func TestOperationsDocCoversSchemes(t *testing.T) {
+	doc := readOperationsMD(t)
+	i := strings.Index(doc, "## Scheme names and knobs")
+	if i < 0 {
+		t.Fatal("OPERATIONS.md lost its '## Scheme names and knobs' section")
+	}
+	section := doc[i:]
+	if j := strings.Index(section[1:], "\n## "); j >= 0 {
+		section = section[:j+1]
+	}
+
+	ticks := regexp.MustCompile("`([^`]+)`")
+	cells := func(line string) []string {
+		parts := strings.Split(strings.Trim(strings.TrimSpace(line), "|"), "|")
+		for k := range parts {
+			parts[k] = strings.TrimSpace(parts[k])
+		}
+		return parts
+	}
+	documented := map[string][]string{} // canonical name -> row cells
+	for _, line := range strings.Split(section, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "|") || strings.HasPrefix(trimmed, "|---") ||
+			strings.HasPrefix(trimmed, "| Scheme") {
+			continue
+		}
+		row := cells(line)
+		if len(row) != 3 {
+			t.Fatalf("scheme table row has %d cells, want 3: %q", len(row), line)
+		}
+		name := ticks.FindStringSubmatch(row[0])
+		if name == nil {
+			t.Fatalf("row %q has no backticked scheme name", line)
+		}
+		documented[name[1]] = row
+	}
+	if len(documented) == 0 {
+		t.Fatal("no scheme rows found in OPERATIONS.md — parser or doc broken")
+	}
+
+	registered := map[string]bool{}
+	for _, info := range core.RegisteredSchemes() {
+		name := info.Scheme.Name()
+		registered[name] = true
+		row, ok := documented[name]
+		if !ok {
+			t.Errorf("registered scheme %s has no row in OPERATIONS.md", name)
+			continue
+		}
+		var gotAliases []string
+		for _, m := range ticks.FindAllStringSubmatch(row[1], -1) {
+			gotAliases = append(gotAliases, m[1])
+		}
+		sort.Strings(gotAliases)
+		wantAliases := append([]string(nil), info.Aliases...)
+		sort.Strings(wantAliases)
+		if !reflect.DeepEqual(gotAliases, wantAliases) {
+			t.Errorf("%s: OPERATIONS.md spellings %v, registry has %v", name, gotAliases, wantAliases)
+		}
+		switch {
+		case info.Knob == "" && strings.Contains(row[2], "`"):
+			t.Errorf("%s: OPERATIONS.md documents knob %q, registry has none", name, row[2])
+		case info.Knob != "":
+			want := fmt.Sprintf("`%s` (default %g)", info.Knob, info.KnobDefault)
+			if row[2] != want {
+				t.Errorf("%s: knob cell %q, want %q", name, row[2], want)
+			}
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("OPERATIONS.md documents scheme %s, which is not registered", name)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden refreshes the pinned registry-refactor golden bytes. Run
+// `go test ./internal/serve -run TestPaperSchemeResponsesPinned -update-scheme-golden`
+// ONLY for an intentional model change; the whole point of the file is
+// that refactors of scheme resolution must NOT need it.
+var updateGolden = flag.Bool("update-scheme-golden", false, "rewrite testdata/scheme_golden.txt")
+
+// goldenRequests are the exact bodies whose responses are pinned: every
+// paper scheme through /v1/bus (curve and point form, level and explicit
+// params) and a mixed /v1/sweep batch covering all four schemes in one
+// request. These bytes were captured before the scheme registry existed,
+// so a registry-resolution change that perturbs any float is caught here.
+var goldenRequests = []struct {
+	Path string
+	Body string
+}{
+	{"/v1/bus", `{"scheme": "base", "procs": 8}`},
+	{"/v1/bus", `{"scheme": "dragon", "procs": 8}`},
+	{"/v1/bus", `{"scheme": "swflush", "procs": 8}`},
+	{"/v1/bus", `{"scheme": "nocache", "procs": 8}`},
+	{"/v1/bus", `{"scheme": "dragon", "level": "high", "procs": 12}`},
+	{"/v1/bus", `{"scheme": "swflush", "params": {"shd": 0.3, "apl": 8}, "procs": 16, "point": true}`},
+	{"/v1/bus", `{"scheme": "base", "params": {"msdat": 0.05}, "procs": 4, "point": true}`},
+	{"/v1/bus", `{"scheme": "nocache", "level": "low", "procs": 6}`},
+	{"/v1/sweep", `{"points": [` +
+		`{"scheme": "base", "procs": 8},` +
+		`{"scheme": "dragon", "procs": 8},` +
+		`{"scheme": "swflush", "procs": 8, "point": true},` +
+		`{"scheme": "nocache", "level": "high", "procs": 10},` +
+		`{"scheme": "dragon", "params": {"wr": 0.5}, "procs": 5}]}`},
+}
+
+const schemeGoldenPath = "testdata/scheme_golden.txt"
+
+// goldenBytes renders one request/response pair in the golden file's
+// record format.
+func goldenBytes(path, body string, resp []byte) []byte {
+	return []byte(fmt.Sprintf("== %s %s\n%s", path, body, resp))
+}
+
+// TestPaperSchemeResponsesPinned asserts the four paper schemes produce
+// byte-identical /v1/bus and /v1/sweep responses to the ones captured
+// before the scheme-registry refactor. Any drift in scheme resolution,
+// demand math, or MVA arithmetic for the paper schemes fails here with
+// the offending request named.
+func TestPaperSchemeResponsesPinned(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var got bytes.Buffer
+	for _, req := range goldenRequests {
+		code, body := post(t, ts, req.Path, req.Body)
+		if code != http.StatusOK {
+			t.Fatalf("POST %s %s: status %d: %s", req.Path, req.Body, code, body)
+		}
+		got.Write(goldenBytes(req.Path, req.Body, body))
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(schemeGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(schemeGoldenPath, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", schemeGoldenPath, got.Len())
+		return
+	}
+	want, err := os.ReadFile(schemeGoldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-scheme-golden to create): %v", err)
+	}
+	if bytes.Equal(got.Bytes(), want) {
+		return
+	}
+	// Name the first diverging record instead of dumping both blobs.
+	gotRecs := bytes.Split(got.Bytes(), []byte("== "))
+	wantRecs := bytes.Split(want, []byte("== "))
+	for i := range gotRecs {
+		if i >= len(wantRecs) || !bytes.Equal(gotRecs[i], wantRecs[i]) {
+			t.Fatalf("response drifted from pre-registry capture at record %d:\n got: %.300s\nwant: %.300s",
+				i, gotRecs[i], wantRecs[min(i, len(wantRecs)-1)])
+		}
+	}
+	t.Fatalf("golden has %d records, response stream has %d", len(wantRecs), len(gotRecs))
+}

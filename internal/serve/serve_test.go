@@ -205,7 +205,7 @@ func TestBadRequests(t *testing.T) {
 		{"inf param literal", "/v1/bus", `{"scheme": "base", "params": {"shd": 1e999}}`},
 		{"param out of range", "/v1/bus", `{"scheme": "base", "params": {"shd": 1.5}}`},
 		{"apl below one", "/v1/bus", `{"scheme": "base", "params": {"apl": 0.5}}`},
-		{"unknown scheme", "/v1/bus", `{"scheme": "mesi"}`},
+		{"unknown scheme", "/v1/bus", `{"scheme": "firefly"}`},
 		{"missing scheme", "/v1/bus", `{"procs": 4}`},
 		{"level and params", "/v1/bus", `{"scheme": "base", "level": "low", "params": {"shd": 0.2}}`},
 		{"bad level", "/v1/bus", `{"scheme": "base", "level": "extreme"}`},

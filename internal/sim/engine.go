@@ -43,22 +43,33 @@ func (p Protocol) valid() bool {
 	return p >= ProtoBase && p <= ProtoWriteInvalidate
 }
 
-// ProtocolByName resolves a protocol name (case-sensitive short forms:
-// base, dragon, nocache, swflush, wi).
+// protoByScheme maps a registered scheme's canonical name to its
+// simulator protocol. Registered schemes absent here (Directory,
+// Hybrid, the priority-bus discipline, ...) are analytic-model-only:
+// asking the simulator for them is ErrBadConfig, not a silent fallback.
+var protoByScheme = map[string]Protocol{
+	"Base":             ProtoBase,
+	"Dragon":           ProtoDragon,
+	"No-Cache":         ProtoNoCache,
+	"Software-Flush":   ProtoSoftwareFlush,
+	"Write-Invalidate": ProtoWriteInvalidate,
+}
+
+// ProtocolByName resolves a protocol name through the scheme registry,
+// so every registered spelling works (base, swflush, software-flush,
+// wi, mesi, ...). Names the registry knows but the simulator does not
+// implement report which protocols are simulatable.
 func ProtocolByName(name string) (Protocol, error) {
-	switch name {
-	case "base", "Base":
-		return ProtoBase, nil
-	case "dragon", "Dragon":
-		return ProtoDragon, nil
-	case "nocache", "no-cache", "No-Cache":
-		return ProtoNoCache, nil
-	case "swflush", "software-flush", "Software-Flush":
-		return ProtoSoftwareFlush, nil
-	case "wi", "write-invalidate", "Write-Invalidate":
-		return ProtoWriteInvalidate, nil
+	info, ok := core.SchemeInfoByName(name)
+	if !ok {
+		return 0, fmt.Errorf("%w: unknown protocol %q", ErrBadConfig, name)
 	}
-	return 0, fmt.Errorf("%w: unknown protocol %q", ErrBadConfig, name)
+	p, ok := protoByScheme[info.Scheme.Name()]
+	if !ok {
+		return 0, fmt.Errorf("%w: scheme %q has no trace-driven protocol (simulatable: base, dragon, nocache, swflush, wi)",
+			ErrBadConfig, info.Scheme.Name())
+	}
+	return p, nil
 }
 
 // Config describes one simulation run.

@@ -51,14 +51,22 @@ func TestProtocolNames(t *testing.T) {
 	for name, want := range map[string]Protocol{
 		"base": ProtoBase, "dragon": ProtoDragon, "nocache": ProtoNoCache,
 		"swflush": ProtoSoftwareFlush, "wi": ProtoWriteInvalidate,
+		// Registry aliases resolve too: mesi is the write-invalidate
+		// scheme's hardware-protocol alias.
+		"mesi": ProtoWriteInvalidate, "no-cache": ProtoNoCache,
 	} {
 		got, err := ProtocolByName(name)
 		if err != nil || got != want {
 			t.Errorf("%q -> %v, %v", name, got, err)
 		}
 	}
-	if _, err := ProtocolByName("mesi"); err == nil {
-		t.Error("want error")
+	if _, err := ProtocolByName("firefly"); err == nil {
+		t.Error("want error for unregistered name")
+	}
+	// Registered but analytic-only: resolvable by the model, not the
+	// trace-driven simulator.
+	if _, err := ProtocolByName("directory"); err == nil {
+		t.Error("want error for analytic-only scheme")
 	}
 	if ProtoDragon.String() != "Dragon" || Protocol(99).String() == "" {
 		t.Error("protocol strings")

@@ -177,7 +177,7 @@ func (ev *mutexEvaluator) BusPoint(s core.Scheme, p core.Params, costs *core.Cos
 		ev.demands[key] = d
 		ev.mu.Unlock()
 	}
-	ck := mvaKey{d.Think(), d.Interconnect}
+	ck := mvaKey{d.Think(), d.Interconnect, d.Priority}
 	ev.mu.Lock()
 	c, ok := ev.curves[ck]
 	if ok && len(c) >= nproc {

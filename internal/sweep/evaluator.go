@@ -102,9 +102,11 @@ type demandKey struct {
 	table  string
 }
 
-// mvaKey identifies a single-server MVA curve by its two real inputs.
+// mvaKey identifies a single-server MVA curve by its real inputs: think
+// time, total service demand, and the high-priority share of service
+// (zero for every FCFS curve, so pre-priority keys are unchanged).
 type mvaKey struct {
-	think, service float64
+	think, service, prio float64
 }
 
 // numShards is the lock-stripe count for the demand and curve caches.
@@ -154,6 +156,7 @@ func (k demandKey) shard() int {
 func (k mvaKey) shard() int {
 	h := hashFloat(uint64(fnvOffset), k.think)
 	h = hashFloat(h, k.service)
+	h = hashFloat(h, k.prio)
 	return int(h & (numShards - 1))
 }
 
@@ -566,7 +569,7 @@ func (ev *Evaluator) curveShared(ctx context.Context, d core.Demand, n int) ([]q
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	key := mvaKey{d.Think(), d.Interconnect}
+	key := mvaKey{d.Think(), d.Interconnect, d.Priority}
 	sh := &ev.curves[key.shard()]
 
 	var sp obs.Span
@@ -630,9 +633,11 @@ func (ev *Evaluator) curveShared(ctx context.Context, d core.Demand, n int) ([]q
 	// published: the recursion resumes from its final queue length
 	// instead of restarting at population 1. The slice is immutable once
 	// published, so holding the reference across the solve is safe even
-	// if the entry is evicted or superseded meanwhile.
+	// if the entry is evicted or superseded meanwhile. Priority curves
+	// cannot resume — their inter-population state is per-class and not
+	// stored — so they always solve cold.
 	var prefix []queueing.SingleServerResult
-	if sl, ok := sh.entries[key]; ok {
+	if sl, ok := sh.entries[key]; ok && d.Priority == 0 {
 		sl.ref.Store(true)
 		prefix = sl.v
 	}
@@ -644,7 +649,12 @@ func (ev *Evaluator) curveShared(ctx context.Context, d core.Demand, n int) ([]q
 	if ev.obsv != nil {
 		ssp = obs.Start()
 	}
-	fl.v, fl.err = queueing.ExtendSingleServerMVA(d.Think(), d.Interconnect, prefix, n, nil)
+	if d.Priority > 0 {
+		hi, lo := d.PrioritySplit()
+		fl.v, fl.err = queueing.PrioritySingleServerMVA(d.Think(), hi, lo, n, nil)
+	} else {
+		fl.v, fl.err = queueing.ExtendSingleServerMVA(d.Think(), d.Interconnect, prefix, n, nil)
+	}
 	if ev.obsv != nil {
 		ev.obsv.StageObserved(ctx, StageSolve, ssp.Seconds())
 		ev.obsv.CacheEvent(ctx, "mva", EventMiss)
@@ -686,7 +696,7 @@ func (ev *Evaluator) curveShared(ctx context.Context, d core.Demand, n int) ([]q
 // grid cells, bisections) only reads one element, so copying the whole
 // prefix out of the cache on every hit would be pure memory traffic.
 func (ev *Evaluator) curvePoint(ctx context.Context, d core.Demand, n int) (queueing.SingleServerResult, error) {
-	key := mvaKey{d.Think(), d.Interconnect}
+	key := mvaKey{d.Think(), d.Interconnect, d.Priority}
 	sh := &ev.curves[key.shard()]
 	var sp obs.Span
 	if ev.obsv != nil {

@@ -75,7 +75,7 @@ func TestCurveExtendAcrossEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := mvaKey{base.Think(), base.Interconnect}
+	key := mvaKey{base.Think(), base.Interconnect, base.Priority}
 	for i := 0; i < 64*numShards; i++ {
 		q, err := p.With("md", 0.3+float64(i)*1e-4)
 		if err != nil {

@@ -38,7 +38,7 @@ func (ev *Evaluator) StartCurveRun(ctx context.Context, s core.Scheme, p core.Pa
 	if err != nil {
 		return nil, err
 	}
-	return &CurveRun{ev: ev, d: d, key: mvaKey{d.Think(), d.Interconnect}}, nil
+	return &CurveRun{ev: ev, d: d, key: mvaKey{d.Think(), d.Interconnect, d.Priority}}, nil
 }
 
 // Demand returns the group's shared per-instruction demand.
@@ -93,7 +93,14 @@ func (r *CurveRun) curveTo(ctx context.Context, n int) ([]queueing.SingleServerR
 	}
 	seed := prefix
 	inPlace := false
-	if r.buf != nil && len(*r.buf) >= len(prefix) {
+	if r.d.Priority > 0 {
+		// The priority recursion's inter-population state is per-class
+		// and not stored in the curve, so it cannot resume from a seed:
+		// always solve cold (the run's buffer may still be overwritten
+		// in place).
+		seed = nil
+		inPlace = r.buf != nil
+	} else if r.buf != nil && len(*r.buf) >= len(prefix) {
 		seed = *r.buf
 		inPlace = true
 	}
@@ -109,7 +116,14 @@ func (r *CurveRun) curveTo(ctx context.Context, n int) ([]queueing.SingleServerR
 		*acquired = (*acquired)[:0]
 		dst = *acquired
 	}
-	ext, err := queueing.ExtendSingleServerMVA(r.d.Think(), r.d.Interconnect, seed, n, dst)
+	var ext []queueing.SingleServerResult
+	var err error
+	if r.d.Priority > 0 {
+		hi, lo := r.d.PrioritySplit()
+		ext, err = queueing.PrioritySingleServerMVA(r.d.Think(), hi, lo, n, dst)
+	} else {
+		ext, err = queueing.ExtendSingleServerMVA(r.d.Think(), r.d.Interconnect, seed, n, dst)
+	}
 	if err != nil {
 		if acquired != nil {
 			curveBufPool.Release(acquired)

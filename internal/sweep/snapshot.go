@@ -22,12 +22,13 @@ import (
 // starts warm instead of re-solving its whole working set (the software
 // analogue of not flushing every cache on a context switch). Layout:
 //
-//	magic "SWCCSNP1"
+//	magic "SWCCSNP2"
 //	fingerprint  (uvarint length + bytes; see ModelFingerprint)
 //	demand section: uvarint entry count, then per entry
-//	    scheme string, table string, 11 params float64s, 2 demand float64s
+//	    scheme string, table string, 11 params float64s, 3 demand float64s
+//	    (CPU, Interconnect, Priority)
 //	curve section: uvarint entry count, then per entry
-//	    think, service float64s, uvarint curve length, then per point
+//	    think, service, prio float64s, uvarint curve length, then per point
 //	    uvarint customers + 5 float64s
 //	crc32 (IEEE) of everything above, 4 bytes little-endian
 //
@@ -42,8 +43,9 @@ import (
 // entry.
 
 // snapshotMagic identifies the snapshot file format, version included:
-// an incompatible layout change must change the magic.
-const snapshotMagic = "SWCCSNP1"
+// an incompatible layout change must change the magic. SNP2 added the
+// demand Priority float and the curve key's prio float.
+const snapshotMagic = "SWCCSNP2"
 
 // Snapshot decode sentinels. Both mean "start cold"; they are separate
 // so operators can tell a corrupt file (investigate disk/transfer) from
@@ -95,8 +97,11 @@ func ModelFingerprint() string {
 		h = hashString(h, snapshotMagic)
 		p := core.MiddleParams()
 		costs := core.BusCosts()
-		schemes := append(core.PaperSchemes(), core.Directory{}, core.Hybrid{LockFrac: 0.3})
-		for _, s := range schemes {
+		// Probe every registered scheme (default instances): registering,
+		// removing, or behaviorally changing a protocol invalidates
+		// snapshots, exactly as it invalidates cache entries.
+		for _, info := range core.RegisteredSchemes() {
+			s := info.Scheme
 			h = hashString(h, schemeKey(s))
 			cp := core.CanonicalParams(s, p)
 			for _, f := range [...]float64{
@@ -112,10 +117,21 @@ func ModelFingerprint() string {
 			}
 			h = hashFloat(h, d.CPU)
 			h = hashFloat(h, d.Interconnect)
+			h = hashFloat(h, d.Priority)
 		}
 		curve, err := queueing.SingleServerMVA(3.75, 1.25, 8)
 		if err == nil {
 			for _, r := range curve {
+				for _, f := range [...]float64{
+					r.Residence, r.Wait, r.Throughput, r.QueueLength, r.Utilization,
+				} {
+					h = hashFloat(h, f)
+				}
+			}
+		}
+		prioCurve, err := queueing.PrioritySingleServerMVA(3.75, 0.25, 1.0, 8, nil)
+		if err == nil {
+			for _, r := range prioCurve {
 				for _, f := range [...]float64{
 					r.Residence, r.Wait, r.Throughput, r.QueueLength, r.Utilization,
 				} {
@@ -209,6 +225,7 @@ func (ev *Evaluator) Snapshot(w io.Writer) (SnapshotCounts, error) {
 			}
 			sw.f64(d.CPU)
 			sw.f64(d.Interconnect)
+			sw.f64(d.Priority)
 		}
 	}
 	counts.DemandEntries = written
@@ -241,6 +258,7 @@ func (ev *Evaluator) Snapshot(w io.Writer) (SnapshotCounts, error) {
 			curve := vals[k]
 			sw.f64(k.think)
 			sw.f64(k.service)
+			sw.f64(k.prio)
 			sw.uvarint(uint64(len(curve)))
 			for _, r := range curve {
 				sw.uvarint(uint64(r.Customers))
@@ -290,7 +308,10 @@ func (k mvaKey) less(o mvaKey) bool {
 	if k.think != o.think {
 		return math.Float64bits(k.think) < math.Float64bits(o.think)
 	}
-	return math.Float64bits(k.service) < math.Float64bits(o.service)
+	if k.service != o.service {
+		return math.Float64bits(k.service) < math.Float64bits(o.service)
+	}
+	return math.Float64bits(k.prio) < math.Float64bits(o.prio)
 }
 
 // snapReader mirrors snapWriter: buffered reads with a running CRC, so
@@ -402,12 +423,18 @@ func (ev *Evaluator) restore(r io.Reader) (SnapshotCounts, error) {
 		if k.table, err = sr.str(); err != nil {
 			return SnapshotCounts{}, fmt.Errorf("%w: demand[%d] table: %v", ErrSnapshotFormat, i, err)
 		}
+		if !core.RegisteredLabel(k.scheme) {
+			// A snapshot naming a scheme this build does not register
+			// could only have come from a different (or tampered) model:
+			// fail closed rather than carry entries nothing can read.
+			return SnapshotCounts{}, fmt.Errorf("%w: demand[%d] references unregistered scheme %q", ErrSnapshotStale, i, k.scheme)
+		}
 		p := &k.params
 		var d core.Demand
 		for _, dst := range [...]*float64{
 			&p.LS, &p.MsDat, &p.MsIns, &p.MD, &p.Shd, &p.WR,
 			&p.APL, &p.MdShd, &p.OClean, &p.OPres, &p.NShd,
-			&d.CPU, &d.Interconnect,
+			&d.CPU, &d.Interconnect, &d.Priority,
 		} {
 			if *dst, err = sr.f64(); err != nil {
 				return SnapshotCounts{}, fmt.Errorf("%w: demand[%d] floats: %v", ErrSnapshotFormat, i, err)
@@ -433,6 +460,9 @@ func (ev *Evaluator) restore(r io.Reader) (SnapshotCounts, error) {
 		}
 		if k.service, err = sr.f64(); err != nil {
 			return SnapshotCounts{}, fmt.Errorf("%w: curve[%d] service: %v", ErrSnapshotFormat, i, err)
+		}
+		if k.prio, err = sr.f64(); err != nil {
+			return SnapshotCounts{}, fmt.Errorf("%w: curve[%d] prio: %v", ErrSnapshotFormat, i, err)
 		}
 		n, err := sr.length()
 		if err != nil {

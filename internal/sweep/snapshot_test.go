@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -289,5 +290,44 @@ func TestModelFingerprintStable(t *testing.T) {
 	}
 	if !strings.HasPrefix(a, snapshotMagic) {
 		t.Fatalf("fingerprint %q does not carry the format version", a)
+	}
+}
+
+// fireflyScheme is a deliberately unregistered scheme: structurally
+// valid (OpInstr present) but unknown to the core registry.
+type fireflyScheme struct{}
+
+func (fireflyScheme) Name() string { return "Firefly" }
+func (fireflyScheme) Frequencies(p core.Params) ([]core.OpFreq, error) {
+	return []core.OpFreq{
+		{Op: core.OpInstr, Freq: 1},
+		{Op: core.OpCleanMissMem, Freq: p.MsDat * p.LS},
+	}, nil
+}
+
+// TestSnapshotRejectsUnregisteredScheme: a snapshot holding cache
+// entries for a scheme this binary's registry does not know must fail
+// closed with ErrSnapshotStale — restoring it would let lookups under
+// a future (or vanished third-party) scheme name alias into entries
+// whose provenance cannot be checked.
+func TestSnapshotRejectsUnregisteredScheme(t *testing.T) {
+	ev := NewEvaluator()
+	populateEvaluator(t, ev)
+	if _, err := ev.EvaluateBus(fireflyScheme{}, core.MiddleParams(), core.BusCosts(), 8); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := snapshotBytes(t, ev)
+
+	fresh := NewEvaluator()
+	_, err := fresh.RestoreSnapshot(bytes.NewReader(snap))
+	if !errors.Is(err, ErrSnapshotStale) {
+		t.Fatalf("restore of unregistered-scheme snapshot: err = %v, want ErrSnapshotStale", err)
+	}
+	if !strings.Contains(err.Error(), "Firefly") {
+		t.Errorf("error %q does not name the offending scheme", err)
+	}
+	if st := fresh.Stats(); st.DemandEntries != 0 || st.CurveEntries != 0 {
+		t.Fatalf("evaluator not cold after rejected restore: %d demand / %d curves",
+			st.DemandEntries, st.CurveEntries)
 	}
 }

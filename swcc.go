@@ -53,7 +53,7 @@ const (
 // Scheme is a coherence scheme's workload model.
 type Scheme = core.Scheme
 
-// The paper's four schemes plus the directory extension.
+// The paper's four schemes plus the extensions.
 type (
 	// Base is the coherence-free upper bound.
 	Base = core.Base
@@ -68,7 +68,31 @@ type (
 	// Hybrid mixes No-Cache locks with Software-Flush data
 	// (Elxsi/MultiTitan style).
 	Hybrid = core.Hybrid
+	// WriteInvalidate is the MESI-style invalidation-based snoopy
+	// hardware protocol.
+	WriteInvalidate = core.WriteInvalidate
+	// HybridUpdate splits shared writes between update broadcasts and
+	// invalidations by a tunable fraction.
+	HybridUpdate = core.HybridUpdate
+	// PriorityBus wraps a scheme so coherence bus traffic is served at
+	// higher priority than processor misses.
+	PriorityBus = core.PriorityBus
 )
+
+// SchemeInfo is one scheme registry entry: the scheme plus its aliases,
+// knob, and model-support metadata.
+type SchemeInfo = core.Info
+
+// SchemeInfoByName looks a registered scheme up by any accepted
+// spelling.
+func SchemeInfoByName(name string) (SchemeInfo, bool) { return core.SchemeInfoByName(name) }
+
+// RegisteredSchemes returns every registered scheme's entry (default
+// knob settings) in registration order.
+func RegisteredSchemes() []SchemeInfo { return core.RegisteredSchemes() }
+
+// SchemeNames returns the canonical registered scheme names, sorted.
+func SchemeNames() []string { return core.SchemeNames() }
 
 // CostTable is a system model: per-operation CPU and interconnect costs.
 type CostTable = core.CostTable
@@ -98,8 +122,10 @@ func Fields() []FieldSpec { return core.Fields() }
 // Schemes returns the paper's four schemes in presentation order.
 func Schemes() []Scheme { return core.PaperSchemes() }
 
-// SchemeByName resolves "base", "nocache", "swflush", "dragon", or
-// "directory".
+// SchemeByName resolves any registered scheme name or alias ("base",
+// "nocache", "swflush", "dragon", "directory", "hybrid", "winv",
+// "mesi", "hybrid-update", "swflush-prio", ...); unknown names get an
+// error listing the valid canonical names.
 func SchemeByName(name string) (Scheme, error) { return core.SchemeByName(name) }
 
 // BusCosts returns the paper's Table 1 bus system model.
