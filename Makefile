@@ -36,15 +36,15 @@ bench-short:
 # miss-heavy mixes against an in-process daemon, then the async-job
 # drill and the gateway drill append their scenarios to the same record
 # (later invocations merge into an existing -out file rather than
-# clobbering it). Earlier records (BENCH_PR3..7.json) are append-only
+# clobbering it). Earlier records (BENCH_PR3..8.json) are append-only
 # history — bench-json never rewrites them, so `bench-diff` always
 # compares against the numbers the previous PR actually merged with.
 bench-json:
 	$(GO) run ./cmd/cohereload -c 8 -d 3s -hit-ratios 0.95,0.05 \
-		-out BENCH_PR8.json > /dev/null
-	$(GO) run ./cmd/cohereload -jobs -out BENCH_PR8.json > /dev/null
-	$(GO) run ./cmd/cohereload -gw -c 8 -d 2s -out BENCH_PR8.json > /dev/null
-	@echo "bench-json: wrote BENCH_PR8.json (latency mixes + jobs + gateway drills)"
+		-out BENCH_PR10.json > /dev/null
+	$(GO) run ./cmd/cohereload -jobs -out BENCH_PR10.json > /dev/null
+	$(GO) run ./cmd/cohereload -gw -c 8 -d 2s -out BENCH_PR10.json > /dev/null
+	@echo "bench-json: wrote BENCH_PR10.json (latency mixes + jobs + gateway drills)"
 
 # Cross-PR regression gate: compare the newest benchmark record against
 # the newest earlier record sharing a scenario, and fail if p99 latency

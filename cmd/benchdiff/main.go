@@ -25,12 +25,17 @@
 // instead. Exit status is 1 on regression, 2 on usage/parse errors,
 // and 0 otherwise — including when no comparable baseline exists yet.
 //
-// One gate is within-record rather than cross-PR: when the candidate
+// Two gates are within-record rather than cross-PR. When the candidate
 // carries the gateway drill's paired arms ("gw_affinity" and
 // "gw_roundrobin"), affinity must show at least 1.5x round-robin's
 // aggregate backend cache-hit ratio with p99 no worse than round-robin's
-// plus the band. That is the PR's headline claim about cache-affinity
-// routing, so it gates every record that measures it — baseline or not.
+// plus the band. And when it carries the hedging arms ("gw_unhedged"
+// and "gw_hedged"), the hedged arm must show a lower p99 than the
+// unhedged one for a backend send ratio inside the hedge load band —
+// hedging that stops cutting the tail, or starts stampeding the
+// backends, fails the record outright. These are the headline claims
+// about the front tier, so they gate every record that measures them —
+// baseline or not.
 package main
 
 import (
@@ -71,11 +76,20 @@ type scenario struct {
 	// BackendHitRatio is the gateway drill's aggregate backend
 	// cache-hit ratio; nonzero only on gw_* scenarios.
 	BackendHitRatio float64 `json:"backend_hit_ratio"`
+	// BackendSendRatio is the hedging drill's backend-load
+	// amplification (gateway-to-backend sends over client requests);
+	// nonzero only on the gw_unhedged / gw_hedged arms.
+	BackendSendRatio float64 `json:"backend_send_ratio"`
 }
 
 // gwHitRatioGate is the affinity-vs-round-robin multiplier the gateway
 // arms must clear (mirrors cohereload's own drill gate).
 const gwHitRatioGate = 1.5
+
+// gwHedgeLoadBand caps the hedged arm's backend send ratio (mirrors
+// cohereload's own drill gate): hedging past it buys its tail cut with
+// a backend stampede.
+const gwHedgeLoadBand = 1.10
 
 // minGateSeconds is the shortest timed window whose percentiles are
 // trusted enough to gate: the sub-second single-shot drills
@@ -160,6 +174,9 @@ func diff(files []benchFile, band float64) (string, bool, error) {
 	}
 	cur := files[len(files)-1]
 	gwReport, gwBad := gwGate(cur.Rec, band)
+	hedgeReport, hedgeBad := hedgeGate(cur.Rec)
+	gwReport += hedgeReport
+	gwBad = gwBad || hedgeBad
 	var base *benchFile
 	for i := len(files) - 2; i >= 0; i-- {
 		if len(sharedLabels(files[i].Rec, cur.Rec)) > 0 {
@@ -170,7 +187,7 @@ func diff(files []benchFile, band float64) (string, bool, error) {
 	if base == nil {
 		report := fmt.Sprintf("benchdiff: no earlier record shares a scenario with %s; nothing to compare\n", cur.Path) + gwReport
 		if gwBad {
-			report += "benchdiff: FAIL — gateway affinity gate\n"
+			report += "benchdiff: FAIL — gateway within-record gate\n"
 		}
 		return report, gwBad, nil
 	}
@@ -225,6 +242,36 @@ func gwGate(cur record, band float64) (string, bool) {
 		aff.BackendHitRatio, rr.BackendHitRatio, gain, gwHitRatioGate, mark(hitBad),
 		aff.Latency.P99Ms, rr.Latency.P99Ms, mark(p99Bad))
 	return line, hitBad || p99Bad
+}
+
+// hedgeGate enforces the within-record hedging claim on the candidate:
+// when both hedging arms are present, the hedged arm's p99 must beat
+// the unhedged arm's, and its backend send ratio must stay inside
+// gwHedgeLoadBand. Arms whose timed window is under minGateSeconds are
+// reported but not gated (their p99 rests on too few tail samples);
+// records without the paired arms pass untouched.
+func hedgeGate(cur record) (string, bool) {
+	un := scenarioByLabel(cur, "gw_unhedged")
+	h := scenarioByLabel(cur, "gw_hedged")
+	if un.Label == "" || h.Label == "" {
+		return "", false
+	}
+	if un.DurationSeconds < minGateSeconds || h.DurationSeconds < minGateSeconds {
+		return fmt.Sprintf("  hedge gate: p99 %.3fms hedged vs %.3fms unhedged, send ratio %.3f (sub-second drill; informational, not gated)\n",
+			h.Latency.P99Ms, un.Latency.P99Ms, h.BackendSendRatio), false
+	}
+	p99Bad := h.Latency.P99Ms >= un.Latency.P99Ms
+	loadBad := h.BackendSendRatio > gwHedgeLoadBand
+	mark := func(bad bool) string {
+		if bad {
+			return " REGRESSION"
+		}
+		return ""
+	}
+	line := fmt.Sprintf("  hedge gate: p99 %.3fms hedged vs %.3fms unhedged%s, send ratio %.3f (band %.2fx)%s\n",
+		h.Latency.P99Ms, un.Latency.P99Ms, mark(p99Bad),
+		h.BackendSendRatio, gwHedgeLoadBand, mark(loadBad))
+	return line, p99Bad || loadBad
 }
 
 // compareScenario renders one label's p99/throughput deltas and flags

@@ -333,6 +333,104 @@ func TestGwGateSkipsUnpairedRecords(t *testing.T) {
 	}
 }
 
+// hedgeScen renders a hedging-arm scenario with a backend send ratio.
+func hedgeScen(label string, p99, sendRatio float64) string {
+	return fmt.Sprintf(`{"label": %q, "duration_seconds": 2, "requests_per_second": 1000, "latency": {"p99_ms": %g}, "backend_send_ratio": %g}`,
+		label, p99, sendRatio)
+}
+
+// TestHedgeGatePasses: a hedged arm that cuts p99 inside the load band
+// does not gate, even without a baseline record.
+func TestHedgeGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_PR10.json", rec(
+		hedgeScen("gw_unhedged", 120.0, 1.0),
+		hedgeScen("gw_hedged", 35.0, 1.06)))
+	files, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, regressed, err := diff(files, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("healthy hedging record flagged:\n%s", report)
+	}
+	if !strings.Contains(report, "hedge gate:") {
+		t.Errorf("report missing the hedge gate line:\n%s", report)
+	}
+}
+
+// TestHedgeGateFailsOnP99: a hedged arm whose p99 no longer beats the
+// unhedged arm fails the candidate.
+func TestHedgeGateFailsOnP99(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_PR10.json", rec(
+		hedgeScen("gw_unhedged", 120.0, 1.0),
+		hedgeScen("gw_hedged", 121.0, 1.05)))
+	files, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, regressed, err := diff(files, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Errorf("hedged p99 above unhedged passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "hedge gate:") || !strings.Contains(report, "REGRESSION") {
+		t.Errorf("report missing the marked hedge gate line:\n%s", report)
+	}
+}
+
+// TestHedgeGateFailsOnLoad: a hedged arm past the backend load band
+// fails even with a winning p99.
+func TestHedgeGateFailsOnLoad(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_PR10.json", rec(
+		hedgeScen("gw_unhedged", 120.0, 1.0),
+		hedgeScen("gw_hedged", 35.0, 1.25)))
+	files, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, regressed, err := diff(files, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Errorf("1.25x backend send ratio passed a 1.10x band:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSION") {
+		t.Errorf("report does not mark the load-band failure:\n%s", report)
+	}
+}
+
+// TestHedgeGateSkipsShortRuns: sub-second hedging arms are reported but
+// never gated, like every other short drill.
+func TestHedgeGateSkipsShortRuns(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_PR10.json", rec(
+		`{"label": "gw_unhedged", "duration_seconds": 0.4, "latency": {"p99_ms": 120}, "backend_send_ratio": 1.0}`,
+		`{"label": "gw_hedged", "duration_seconds": 0.4, "latency": {"p99_ms": 130}, "backend_send_ratio": 1.4}`))
+	files, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, regressed, err := diff(files, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("sub-second hedging arms gated the run:\n%s", report)
+	}
+	if !strings.Contains(report, "hedge gate:") || !strings.Contains(report, "not gated") {
+		t.Errorf("report missing the informational hedge line:\n%s", report)
+	}
+}
+
 // TestLoadRealFormat parses a record shaped like cohereload's actual
 // output (extra fields present) without error.
 func TestLoadRealFormat(t *testing.T) {

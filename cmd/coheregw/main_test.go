@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"io"
@@ -11,8 +12,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -92,12 +95,94 @@ func TestGatewayLifecycle(t *testing.T) {
 	}
 }
 
+// TestSighupReloadsBackendsFile drives the live-reload path end to
+// end: boot from a -backends-file with one backend, grow the file to
+// two, SIGHUP the process, and watch the second backend join the
+// routing set without a restart.
+func TestSighupReloadsBackendsFile(t *testing.T) {
+	b1, b2 := testBackend(t), testBackend(t)
+	file := filepath.Join(t.TempDir(), "backends.conf")
+	if err := os.WriteFile(file, []byte("# fleet\n"+b1.URL+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrc := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-quiet", "-backends-file", file,
+		}, io.Discard, func(a net.Addr) { addrc <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrc:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("gateway exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("gateway never became ready")
+	}
+
+	countBackends := func() int {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h struct {
+			Backends []struct {
+				URL string `json:"url"`
+			} `json:"backends"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return len(h.Backends)
+	}
+	if got := countBackends(); got != 1 {
+		t.Fatalf("booted with %d backends, want 1", got)
+	}
+
+	if err := os.WriteFile(file, []byte(b1.URL+"\n"+b2.URL+"=2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for countBackends() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("SIGHUP did not grow the backend set to 2")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("gateway did not shut down")
+	}
+}
+
 // TestBadFlags checks flag and config errors surface instead of
 // starting a server.
 func TestBadFlags(t *testing.T) {
 	if err := run(context.Background(), nil, io.Discard, nil); err == nil ||
 		!strings.Contains(err.Error(), "-backends") {
 		t.Error("missing -backends accepted")
+	}
+	if err := run(context.Background(), []string{"-backends", "x", "-backends-file", "y"}, io.Discard, nil); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Error("-backends together with -backends-file accepted")
+	}
+	if err := run(context.Background(), []string{"-backends-file", filepath.Join(t.TempDir(), "missing.conf")}, io.Discard, nil); err == nil {
+		t.Error("missing backends file accepted")
 	}
 	if err := run(context.Background(), []string{"-backends", "x", "positional"}, io.Discard, nil); err == nil ||
 		!strings.Contains(err.Error(), "unexpected arguments") {

@@ -5,9 +5,12 @@ package main
 // a real gateway (internal/gw), then measures exactly the claim the
 // gateway exists for — that routing by canonical cache key keeps the
 // fleet's memo caches hot where round-robin churns them — and verifies
-// the two failure-path promises: a killed backend never surfaces as a
-// client 500, and a snapshot-restarted backend serves its old working
-// set without re-solving. `make gw-smoke` runs this and fails the build
+// the failure-path promises: a killed backend never surfaces as a
+// client 500, a snapshot-restarted backend serves its old working set
+// without re-solving, hedged requests cut an injected latency tail
+// without amplifying backend load past the hedge band, and a live
+// backend-set reload adds and drains backends mid-load with zero
+// client-visible 5xx. `make gw-smoke` runs this and fails the build
 // when any of those regress.
 
 import (
@@ -22,9 +25,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"swcc/internal/fault"
 	"swcc/internal/gw"
 	"swcc/internal/serve"
 	"swcc/internal/sweep"
@@ -51,6 +56,22 @@ const (
 	gwP99Band      = 1.05
 )
 
+// Hedging-drill geometry. Each backend carries a seeded fault injector
+// whose only fault is latency: gwTailP of requests sleep gwTailLatency,
+// a tail far past the fixed gwHedgeDelay. With tails independent across
+// backends, an unhedged arm's p99 sits on the injected sleep (tailP >
+// 1%) while the hedged arm's p99 collapses to roughly the hedge delay
+// (both lanes slow only tailP² of the time, well under 1%). The load
+// band bounds the cost: sends may exceed client requests only by the
+// hedge rate, which tracks tailP and must stay under gwHedgeLoadBand.
+const (
+	gwHedgePool     = 64
+	gwTailLatency   = 120 * time.Millisecond
+	gwTailP         = 0.06
+	gwHedgeDelay    = 25 * time.Millisecond
+	gwHedgeLoadBand = 1.10
+)
+
 // gwBackend is one in-process cohered replica under the drill gateway.
 type gwBackend struct {
 	srv *serve.Server
@@ -59,10 +80,11 @@ type gwBackend struct {
 }
 
 // startGwBackend boots a serve.Server on an ephemeral loopback port,
-// cache-capped when cacheCap > 0.
-func startGwBackend(cacheCap int) (*gwBackend, error) {
+// cache-capped when cacheCap > 0 and chaos-armed when inj is non-nil.
+func startGwBackend(cacheCap int, inj *fault.Injector) (*gwBackend, error) {
 	srv := serve.NewServer(serve.Config{
 		CacheCap: cacheCap,
+		Fault:    inj,
 		Logger:   slog.New(slog.NewJSONHandler(io.Discard, nil)),
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -80,25 +102,26 @@ func (b *gwBackend) stop() {
 	b.srv.Close()
 }
 
-// startGwTier boots a gateway over the given backends and returns its
-// base URL plus a stop func. The prober runs fast (failover inside a
-// sub-second drill window) and the first probe round has settled before
-// this returns.
-func startGwTier(policy string, backends []*gwBackend) (string, func(), error) {
+// startGwTierCfg boots a gateway with the given config (Backends filled
+// from the backend list) and returns the gateway itself — the reload
+// drill drives Gateway.Reload on it — plus its base URL and a stop
+// func. The prober runs fast (failover inside a sub-second drill
+// window) and the first probe round has settled before this returns.
+func startGwTierCfg(cfg gw.Config, backends []*gwBackend) (*gw.Gateway, string, func(), error) {
 	urls := make([]string, len(backends))
 	for i, b := range backends {
 		urls[i] = b.url
 	}
-	g, err := gw.New(gw.Config{
-		Backends:      urls,
-		Policy:        policy,
-		CheckInterval: 100 * time.Millisecond,
-		CheckTimeout:  time.Second,
-		FailThreshold: 1,
-		Logger:        slog.New(slog.NewJSONHandler(io.Discard, nil)),
-	})
+	cfg.Backends = urls
+	cfg.CheckInterval = 100 * time.Millisecond
+	cfg.CheckTimeout = time.Second
+	cfg.FailThreshold = 1
+	// Warn level: the gateway's per-request access log would otherwise
+	// pay JSON formatting on every drill request even into io.Discard.
+	cfg.Logger = slog.New(slog.NewJSONHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	g, err := gw.New(cfg)
 	if err != nil {
-		return "", nil, err
+		return nil, "", nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	go g.Run(ctx)
@@ -106,7 +129,7 @@ func startGwTier(policy string, backends []*gwBackend) (string, func(), error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		cancel()
-		return "", nil, err
+		return nil, "", nil, err
 	}
 	hs := &http.Server{Handler: g.Handler()}
 	go hs.Serve(ln)
@@ -114,7 +137,13 @@ func startGwTier(policy string, backends []*gwBackend) (string, func(), error) {
 		cancel()
 		hs.Close()
 	}
-	return "http://" + ln.Addr().String(), stop, nil
+	return g, "http://" + ln.Addr().String(), stop, nil
+}
+
+// startGwTier is startGwTierCfg with only a policy to set.
+func startGwTier(policy string, backends []*gwBackend) (string, func(), error) {
+	_, base, stop, err := startGwTierCfg(gw.Config{Policy: policy}, backends)
+	return base, stop, err
 }
 
 // scrapeStats reads one backend's evaluator counters off its /healthz.
@@ -164,7 +193,7 @@ func gwPointBody(shd float64) string {
 func gwBenchArm(policy, label string, conc int, dur time.Duration, seed int64) (summary, error) {
 	var backends []*gwBackend
 	for i := 0; i < 2; i++ {
-		b, err := startGwBackend(gwCacheCap)
+		b, err := startGwBackend(gwCacheCap, nil)
 		if err != nil {
 			return summary{}, err
 		}
@@ -250,7 +279,7 @@ func gwBenchArm(policy, label string, conc int, dur time.Duration, seed int64) (
 func gwFailover(conc int, dur time.Duration, seed int64) (summary, error) {
 	var backends []*gwBackend
 	for i := 0; i < 2; i++ {
-		b, err := startGwBackend(0)
+		b, err := startGwBackend(0, nil)
 		if err != nil {
 			return summary{}, err
 		}
@@ -329,7 +358,7 @@ func gwWarmRestart() (summary, error) {
 	defer os.RemoveAll(dir)
 	snapPath := filepath.Join(dir, "memo.snap")
 
-	first, err := startGwBackend(0)
+	first, err := startGwBackend(0, nil)
 	if err != nil {
 		return summary{}, err
 	}
@@ -356,7 +385,7 @@ func gwWarmRestart() (summary, error) {
 		return summary{}, fmt.Errorf("gw_warm_restart: snapshot captured nothing: %+v", counts)
 	}
 
-	second, err := startGwBackend(0)
+	second, err := startGwBackend(0, nil)
 	if err != nil {
 		return summary{}, err
 	}
@@ -393,6 +422,257 @@ func gwWarmRestart() (summary, error) {
 			"restored_curve":  restored.CurveEntries,
 		},
 	}, nil
+}
+
+// gwTierView is the slice of the gateway's own /healthz the drills
+// scrape: reload count plus per-backend send counters.
+type gwTierView struct {
+	Reloads  int64
+	Sends    int64
+	Backends []string
+}
+
+// scrapeGwTier reads the gateway's /healthz aggregation.
+func scrapeGwTier(client *http.Client, base string) (gwTierView, error) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return gwTierView{}, err
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Reloads  int64 `json:"reloads"`
+		Backends []struct {
+			URL   string `json:"url"`
+			Sends int64  `json:"sends"`
+		} `json:"backends"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return gwTierView{}, err
+	}
+	v := gwTierView{Reloads: h.Reloads}
+	for _, b := range h.Backends {
+		v.Sends += b.Sends
+		v.Backends = append(v.Backends, b.URL)
+	}
+	return v, nil
+}
+
+// gwHedgeArm runs one arm of the hedging comparison: two tail-injected
+// backends, both pre-warmed on the whole pool directly (so the window
+// measures the injected tail, not solve time), then a timed all-warm
+// window through the gateway with hedging on or off. Both arms run the
+// same seed, so the injectors draw the same tail schedule and the only
+// difference is whether the gateway races a second backend past it.
+// BackendSendRatio comes from the gateway's own send counters over the
+// window — the backend-load amplification the hedge band gates.
+func gwHedgeArm(label string, hedged bool, conc int, dur time.Duration, seed int64) (summary, error) {
+	var backends []*gwBackend
+	for i := 0; i < 2; i++ {
+		inj := fault.New(fault.Config{
+			Seed:     seed + int64(i),
+			Latency:  gwTailLatency,
+			LatencyP: gwTailP,
+		})
+		b, err := startGwBackend(0, inj)
+		if err != nil {
+			return summary{}, err
+		}
+		defer b.stop()
+		backends = append(backends, b)
+	}
+	_, base, stopGw, err := startGwTierCfg(gw.Config{
+		Policy:     gw.PolicyAffinity,
+		Hedge:      hedged,
+		HedgeDelay: gwHedgeDelay,
+	}, backends)
+	if err != nil {
+		return summary{}, err
+	}
+	defer stopGw()
+
+	// Warm every backend on every key directly: a hedge must find the
+	// second-ranked backend as warm as the owner, exactly the deployed
+	// steady state the response tail rides on.
+	client := newClient(30 * time.Second)
+	for i := 0; i < gwHedgePool; i++ {
+		for _, b := range backends {
+			code, body, err := post(context.Background(), client, b.url+"/v1/bus", gwPointBody(warmShd(i, gwHedgePool)))
+			if err != nil || code != http.StatusOK {
+				return summary{}, fmt.Errorf("%s: warming %s: status %d err %v body %s", label, b.url, code, err, body)
+			}
+		}
+	}
+	before, err := scrapeGwTier(client, base)
+	if err != nil {
+		return summary{}, fmt.Errorf("%s: scraping gateway: %w", label, err)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		requests  int
+		errs      int
+	)
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(workerSeed(seed, worker)))
+			for time.Now().Before(deadline) {
+				body := gwPointBody(warmShd(rng.Intn(gwHedgePool), gwHedgePool))
+				start := time.Now()
+				code, _, err := post(context.Background(), client, base+"/v1/bus", body)
+				elapsed := time.Since(start).Seconds()
+				mu.Lock()
+				requests++
+				if err != nil || code != http.StatusOK {
+					errs++
+				} else {
+					latencies = append(latencies, elapsed)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	after, err := scrapeGwTier(client, base)
+	if err != nil {
+		return summary{}, fmt.Errorf("%s: scraping gateway: %w", label, err)
+	}
+	sendRatio := 0.0
+	if requests > 0 {
+		sendRatio = float64(after.Sends-before.Sends) / float64(requests)
+	}
+	sort.Float64s(latencies)
+	return summary{
+		Label:            label,
+		HitRatio:         1,
+		Concurrency:      conc,
+		Duration:         dur.Seconds(),
+		Requests:         requests,
+		Errors:           errs,
+		RPS:              float64(requests) / dur.Seconds(),
+		Latency:          summarize(latencies),
+		Mix:              map[string]int{"point": requests},
+		BackendSendRatio: sendRatio,
+	}, nil
+}
+
+// gwReload drives load through an affinity gateway while the backend
+// set changes shape under it: a third backend joins a third of the way
+// in, then the original first backend leaves at two thirds — the
+// SIGHUP lifecycle, minus the signal. Both transitions must be
+// invisible to clients: zero transport errors, zero 5xx, and the
+// gateway's final /healthz must show exactly the post-reload fleet.
+func gwReload(conc int, dur time.Duration, seed int64) (summary, error) {
+	var backends []*gwBackend
+	for i := 0; i < 3; i++ {
+		b, err := startGwBackend(0, nil)
+		if err != nil {
+			return summary{}, err
+		}
+		defer b.stop()
+		backends = append(backends, b)
+	}
+	g, base, stopGw, err := startGwTierCfg(gw.Config{Policy: gw.PolicyAffinity}, backends[:2])
+	if err != nil {
+		return summary{}, err
+	}
+	defer stopGw()
+
+	client := newClient(10 * time.Second)
+	reloadErr := make(chan error, 1)
+	go func() {
+		time.Sleep(dur / 3)
+		if _, err := g.Reload([]string{backends[0].url, backends[1].url, backends[2].url}); err != nil {
+			reloadErr <- fmt.Errorf("growing the set: %w", err)
+			return
+		}
+		time.Sleep(dur / 3)
+		if _, err := g.Reload([]string{backends[1].url, backends[2].url}); err != nil {
+			reloadErr <- fmt.Errorf("shrinking the set: %w", err)
+			return
+		}
+		reloadErr <- nil
+	}()
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		status    = map[string]int{}
+		requests  int
+		errs      int
+	)
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(workerSeed(seed, worker)))
+			for time.Now().Before(deadline) {
+				body := gwPointBody(warmShd(rng.Intn(64), 64))
+				start := time.Now()
+				code, _, err := post(context.Background(), client, base+"/v1/bus", body)
+				elapsed := time.Since(start).Seconds()
+				mu.Lock()
+				requests++
+				if err != nil {
+					errs++
+				} else {
+					status[fmt.Sprint(code)]++
+					if code == http.StatusOK {
+						latencies = append(latencies, elapsed)
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	sort.Float64s(latencies)
+	s := summary{
+		Label:        "gw_reload",
+		Concurrency:  conc,
+		Duration:     dur.Seconds(),
+		Requests:     requests,
+		Errors:       errs,
+		RPS:          float64(requests) / dur.Seconds(),
+		Latency:      summarize(latencies),
+		Mix:          map[string]int{"point": requests},
+		StatusCounts: status,
+	}
+	if err := <-reloadErr; err != nil {
+		return s, fmt.Errorf("gw_reload: %w", err)
+	}
+	if errs > 0 {
+		return s, fmt.Errorf("gw_reload: %d transport errors while the backend set changed shape", errs)
+	}
+	for code, n := range status {
+		if n > 0 && strings.HasPrefix(code, "5") {
+			return s, fmt.Errorf("gw_reload: clients saw %d %ss during reloads — membership changes must be invisible", n, code)
+		}
+	}
+	if status["200"] == 0 {
+		return s, fmt.Errorf("gw_reload: no request ever succeeded")
+	}
+	view, err := scrapeGwTier(client, base)
+	if err != nil {
+		return s, fmt.Errorf("gw_reload: scraping gateway: %w", err)
+	}
+	if view.Reloads != 2 || len(view.Backends) != 2 {
+		return s, fmt.Errorf("gw_reload: gateway shows %d reloads over %d backends, want 2 over 2", view.Reloads, len(view.Backends))
+	}
+	for _, u := range view.Backends {
+		if u == backends[0].url {
+			return s, fmt.Errorf("gw_reload: removed backend %s still in the routing set", u)
+		}
+	}
+	return s, nil
 }
 
 // runGw runs the full gateway drill and writes the report. Any phase
@@ -437,6 +717,38 @@ func runGw(stdout, stderr io.Writer, conc int, dur time.Duration, seed int64, ou
 			affinity.Latency.P99, rr.Latency.P99)
 	}
 
+	// The hedging comparison runs both arms on the same seed: same tail
+	// schedule, same key draws, hedging the only variable. The drill
+	// gates the whole claim — a cut tail for bounded extra backend load.
+	unhedged, err := gwHedgeArm("gw_unhedged", false, conc, dur, seed+3)
+	if err != nil {
+		return err
+	}
+	hedged, err := gwHedgeArm("gw_hedged", true, conc, dur, seed+3)
+	if err != nil {
+		return err
+	}
+	rep.Scenarios = append(rep.Scenarios, unhedged, hedged)
+	for _, s := range []summary{unhedged, hedged} {
+		fmt.Fprintf(stderr, "cohereload: %s: %d requests, %d errors, p99 %.3fms, backend send ratio %.3f\n",
+			s.Label, s.Requests, s.Errors, s.Latency.P99, s.BackendSendRatio)
+	}
+	if unhedged.Errors > 0 || hedged.Errors > 0 {
+		return fmt.Errorf("gw hedge: errors under latency-only injection (unhedged %d, hedged %d)", unhedged.Errors, hedged.Errors)
+	}
+	if unhedged.Latency.P99 < float64(gwTailLatency.Milliseconds()) {
+		return fmt.Errorf("gw hedge: unhedged p99 %.3fms never reached the %.0fms injected tail — the drill measured nothing",
+			unhedged.Latency.P99, float64(gwTailLatency.Milliseconds()))
+	}
+	if hedged.Latency.P99 >= unhedged.Latency.P99 {
+		return fmt.Errorf("gw hedge: hedged p99 %.3fms did not cut the unhedged %.3fms tail",
+			hedged.Latency.P99, unhedged.Latency.P99)
+	}
+	if hedged.BackendSendRatio > gwHedgeLoadBand {
+		return fmt.Errorf("gw hedge: backend send ratio %.3f exceeds the %.2fx load band — hedging is over-firing",
+			hedged.BackendSendRatio, gwHedgeLoadBand)
+	}
+
 	failover, err := gwFailover(conc, dur, seed+2)
 	if len(failover.StatusCounts) > 0 || failover.Requests > 0 {
 		rep.Scenarios = append(rep.Scenarios, failover)
@@ -446,6 +758,16 @@ func runGw(stdout, stderr io.Writer, conc int, dur time.Duration, seed int64, ou
 	}
 	fmt.Fprintf(stderr, "cohereload: gw_failover: %d requests, status %v, %d transport errors, backend killed mid-load\n",
 		failover.Requests, failover.StatusCounts, failover.Errors)
+
+	reload, err := gwReload(conc, dur, seed+4)
+	if reload.Requests > 0 {
+		rep.Scenarios = append(rep.Scenarios, reload)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "cohereload: gw_reload: %d requests, status %v, backend added then removed mid-load\n",
+		reload.Requests, reload.StatusCounts)
 
 	restart, err := gwWarmRestart()
 	if err != nil {

@@ -148,6 +148,12 @@ type summary struct {
 	// across the fleet, from each backend's own Stats deltas) — the
 	// number the affinity-vs-round-robin comparison gates on.
 	BackendHitRatio float64 `json:"backend_hit_ratio,omitempty"`
+
+	// BackendSendRatio is the hedging drill's backend-load amplification:
+	// gateway-to-backend sends over client requests in the timed window.
+	// 1.0 means every request cost one backend call; the hedged arm gates
+	// on it staying under the hedge load band.
+	BackendSendRatio float64 `json:"backend_send_ratio,omitempty"`
 }
 
 // chaosStats is the server's own accounting of a chaos run, scraped

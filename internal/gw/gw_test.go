@@ -188,7 +188,7 @@ func TestRespillOnBackendDeath(t *testing.T) {
 	if got := g.retries.Load(); got == 0 {
 		t.Fatal("no retry recorded for the first attempt against the dead backend")
 	}
-	for _, b := range g.backends {
+	for _, b := range g.snapshot() {
 		if b.url == b2.URL && b.healthy.Load() {
 			t.Fatal("dead backend still marked healthy after transport failure")
 		}
@@ -221,7 +221,7 @@ func TestProbeExclusionAndReadmission(t *testing.T) {
 	g.CheckNow(ctx) // one failure: still within threshold
 	g.CheckNow(ctx) // second failure: excluded
 	var bk1 *backend
-	for _, b := range g.backends {
+	for _, b := range g.snapshot() {
 		if b.url == b1.URL {
 			bk1 = b
 		}
@@ -428,8 +428,13 @@ func TestGatewayMetricsPage(t *testing.T) {
 	page, _ := io.ReadAll(resp.Body)
 	for _, family := range []string{
 		"swcc_gw_backend_healthy", "swcc_gw_healthy_backends",
+		"swcc_gw_backend_weight", "swcc_gw_backend_sends_total",
 		"swcc_gw_routes_total", "swcc_gw_backend_responses_total",
 		"swcc_gw_retries_total", "swcc_gw_respills_total",
+		"swcc_gw_hedges_total", "swcc_gw_hedge_wins_total",
+		"swcc_gw_reloads_total", "swcc_gw_response_cache_entries",
+		"swcc_gw_response_cache_hits_total", "swcc_gw_response_cache_misses_total",
+		"swcc_gw_response_cache_invalidations_total",
 		"swcc_gw_key_fallbacks_total", "swcc_gw_bad_gateway_total",
 		"swcc_gw_backend_cache_entries", "swcc_gw_backend_hit_ratio",
 	} {

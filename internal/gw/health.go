@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"time"
 
@@ -16,10 +17,10 @@ import (
 // success re-admits it — exclusion is cautious, re-admission eager,
 // because a re-admitted backend that flaps just gets excluded again
 // while a healthy backend kept excluded sheds its whole key range onto
-// the survivors for no reason. The warmth counters in the body are
-// recorded either way (a shedding backend still reports its cache), so
-// /healthz aggregation and the metrics page reflect the fleet's real
-// cache state.
+// the survivors for no reason. The warmth counters, advertised weight,
+// and model fingerprint in the body are recorded either way (a shedding
+// backend still reports its cache), so /healthz aggregation, the
+// metrics page, and the response cache reflect the fleet's real state.
 func (g *Gateway) probe(ctx context.Context, b *backend) {
 	ctx, cancel := context.WithTimeout(ctx, g.cfg.CheckTimeout)
 	defer cancel()
@@ -38,6 +39,13 @@ func (g *Gateway) probe(ctx context.Context, b *backend) {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&rz); err == nil {
 		warmth := rz.Cache
 		b.warmth.Store(&warmth)
+		if rz.Weight > 0 {
+			b.advWeight.Store(math.Float64bits(rz.Weight))
+		}
+		if rz.ModelFingerprint != "" {
+			fp := rz.ModelFingerprint
+			b.modelFP.Store(&fp)
+		}
 	}
 	if resp.StatusCode != http.StatusOK {
 		g.probeFailed(b, nil)
@@ -63,7 +71,9 @@ func (g *Gateway) probeFailed(b *backend, err error) {
 type backendHealth struct {
 	URL     string             `json:"url"`
 	Healthy bool               `json:"healthy"`
+	Weight  float64            `json:"weight"`
 	Routes  int64              `json:"routes"`
+	Sends   int64              `json:"sends"`
 	Cache   *serve.ReadyzCache `json:"cache,omitempty"`
 }
 
@@ -73,6 +83,7 @@ type gwHealth struct {
 	Status        string          `json:"status"`
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	Policy        string          `json:"policy"`
+	Reloads       int64           `json:"reloads"`
 	Healthy       int             `json:"healthy_backends"`
 	Backends      []backendHealth `json:"backends"`
 }
@@ -82,9 +93,13 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Status:        "ok",
 		UptimeSeconds: time.Since(g.start).Seconds(),
 		Policy:        g.cfg.Policy,
+		Reloads:       g.reloads.Load(),
 	}
-	for _, b := range g.backends {
-		row := backendHealth{URL: b.url, Healthy: b.healthy.Load(), Routes: b.routes.Load(), Cache: b.warmth.Load()}
+	for _, b := range g.snapshot() {
+		row := backendHealth{
+			URL: b.url, Healthy: b.healthy.Load(), Weight: b.effWeight(),
+			Routes: b.routes.Load(), Sends: b.sends.Load(), Cache: b.warmth.Load(),
+		}
 		if row.Healthy {
 			h.Healthy++
 		}
@@ -99,7 +114,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // own front tier, not fed requests it can only 502.
 func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	healthy := 0
-	for _, b := range g.backends {
+	for _, b := range g.snapshot() {
 		if b.healthy.Load() {
 			healthy++
 		}

@@ -9,6 +9,8 @@ import (
 	"regexp"
 	"strconv"
 	"sync"
+
+	"swcc/internal/obs"
 )
 
 // /v1/sweep fan-out: one client batch carries many grid points, and
@@ -54,7 +56,7 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// hybrid. A single healthy backend makes partitioning a no-op.
 	if json.Unmarshal(body, &batch) != nil || len(batch.Points) == 0 ||
 		g.cfg.Policy == PolicyRoundRobin || len(g.healthySet()) == 1 {
-		g.forward(w, r, body, rawKey(body), true)
+		g.forward(w, r, body, rawKey(body), proxyOpts{retriable: true})
 		return
 	}
 
@@ -85,9 +87,17 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 		groups[gi].indexes = append(groups[gi].indexes, i)
 	}
 	if len(groups) == 1 {
-		g.forward(w, r, body, keys[0], true)
+		g.forward(w, r, body, keys[0], proxyOpts{retriable: true})
 		return
 	}
+
+	// One request ID spans the whole fan-out: every sub-batch carries it
+	// to its backend, so the backends' logs for one client batch join up.
+	trace := r.Header.Get(traceHeader)
+	if !obs.ValidTraceID(trace) {
+		trace = obs.NewTraceID()
+	}
+	w.Header().Set(traceHeader, trace)
 
 	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
 	defer cancel()
@@ -105,12 +115,13 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 			// Rank by the group's key: the owner leads, and a transport
 			// failure retries the group on the next-ranked survivor.
-			resp, _, err := g.attempt(ctx, g.rank(groupKeys[gi]), groupKeys[gi], http.MethodPost, r.URL.RequestURI(), sub, true)
+			resp, _, release, err := g.attempt(ctx, g.rank(groupKeys[gi]), groupKeys[gi], http.MethodPost, r.URL.RequestURI(), sub, trace, proxyOpts{retriable: true})
 			if err != nil {
 				g.badGateway.Add(1)
 				grp.status, grp.body = http.StatusBadGateway, []byte(fmt.Sprintf("{\"error\":%q}", "gw: no backend answered: "+err.Error()))
 				return
 			}
+			defer release()
 			defer resp.Body.Close()
 			rb, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 			if err != nil {
